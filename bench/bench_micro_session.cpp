@@ -1,0 +1,70 @@
+// M4: end-to-end engineering cost of simulating NAB instances (wall time,
+// not simulated time) — how the library scales with n, L, and the dispute
+// machinery. google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "core/nab.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void bm_clean_instance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::size_t words = static_cast<std::size_t>(state.range(1));
+  nab::core::session s({.g = nab::graph::complete(n), .f = 1},
+                       nab::sim::fault_set(n));
+  nab::rng rand(1);
+  std::vector<nab::core::word> input(words);
+  for (auto& w : input) w = static_cast<nab::core::word>(rand.below(65536));
+  for (auto _ : state) benchmark::DoNotOptimize(s.run_instance(input));
+  state.SetLabel("n=" + std::to_string(n) + " L=" + std::to_string(16 * words));
+}
+BENCHMARK(bm_clean_instance)
+    ->Name("session_clean_instance")
+    ->Args({4, 64})
+    ->Args({5, 64})
+    ->Args({7, 64})
+    ->Args({5, 1024})
+    ->Args({5, 8192});
+
+void bm_instance_under_attack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    nab::sim::fault_set faults(n, {1});
+    nab::core::phase1_corruptor adv;
+    nab::core::session s({.g = nab::graph::complete(n), .f = 1}, faults, &adv);
+    nab::rng rand(2);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.run_many(2, 64, rand));
+  }
+}
+BENCHMARK(bm_instance_under_attack)
+    ->Name("session_with_dispute_control")
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(7);
+
+void bm_bounds(benchmark::State& state) {
+  const auto g = nab::graph::complete(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nab::core::compute_bounds(g, 0, 1));
+}
+BENCHMARK(bm_bounds)->Name("capacity_bounds")->Arg(4)->Arg(5)->Arg(6);
+
+void bm_certify(benchmark::State& state) {
+  const auto g = nab::graph::complete(static_cast<int>(state.range(0)), 2);
+  const auto uk = nab::core::compute_uk(g, 1, nab::core::dispute_record{});
+  const auto cs = nab::core::coding_scheme::generate(
+      g, static_cast<int>(nab::core::compute_rho(uk)), 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        nab::core::certify_coding(g, 1, nab::core::dispute_record{}, cs));
+}
+BENCHMARK(bm_certify)->Name("theorem1_certification")->Arg(4)->Arg(5)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

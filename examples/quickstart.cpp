@@ -1,0 +1,61 @@
+// Quickstart: one NAB broadcast instance on a 5-node network with a
+// Byzantine relay.
+//
+// Builds K5 with mixed capacities, marks node 2 as corrupt (it garbles every
+// Phase-1 share it forwards), runs a single instance, and shows that all
+// fault-free nodes still agree on the source's exact input — with the
+// misbehavior detected and dispute control pinpointing the culprit.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/nab.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace nab;
+
+  // 1. A network: K5, every link capacity 2.
+  graph::digraph g = graph::complete(5, 2);
+
+  // 2. Who is corrupt (the protocol doesn't know this — the simulator does).
+  sim::fault_set faults(g.universe(), {2});
+  core::phase1_corruptor adversary;  // garbles forwarded shares
+
+  // 3. A session: f=1 fault budget, node 0 broadcasts.
+  core::session session({.g = g, .f = 1, .source = 0}, faults, &adversary);
+
+  // 4. Broadcast a 64-bit message (4 words of 16 bits).
+  const std::vector<core::word> message{0xCAFE, 0xBABE, 0xF00D, 0x1234};
+  const core::instance_report r = session.run_instance(message);
+
+  std::printf("quickstart: NAB instance on K5 (f=1, corrupt relay = node 2)\n");
+  std::printf("  gamma_k=%lld rho_k=%lld  phase1=%.1f ec=%.1f flags=%.1f phase3=%.1f\n",
+              static_cast<long long>(r.gamma), static_cast<long long>(r.rho),
+              r.time_phase1, r.time_equality_check, r.time_flags, r.time_phase3);
+  std::printf("  mismatch announced: %s, dispute control run: %s\n",
+              r.mismatch_announced ? "yes" : "no", r.dispute_phase_run ? "yes" : "no");
+
+  for (graph::node_id v = 0; v < g.universe(); ++v) {
+    if (faults.is_corrupt(v)) {
+      std::printf("  node %d: (corrupt)\n", v);
+      continue;
+    }
+    std::printf("  node %d decided:", v);
+    for (core::word w : r.outputs[static_cast<std::size_t>(v)]) std::printf(" %04X", w);
+    std::printf("\n");
+  }
+  std::printf("  agreement=%s validity=%s\n", r.agreement ? "yes" : "NO",
+              r.validity ? "yes" : "NO");
+
+  if (!session.disputes().convicted().empty()) {
+    std::printf("  convicted as faulty:");
+    for (graph::node_id v : session.disputes().convicted()) std::printf(" %d", v);
+    std::printf("\n");
+  }
+  for (const auto& [a, b] : session.disputes().pairs())
+    std::printf("  pair in dispute: {%d,%d}\n", a, b);
+
+  return r.agreement && r.validity ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "bb/channels.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/connectivity.hpp"
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::bb {
+
+channel_plan::channel_plan(const graph::digraph& g, int f)
+    : topo_(g),
+      f_(f),
+      routes_(static_cast<std::size_t>(g.universe()) * g.universe()),
+      inboxes_(static_cast<std::size_t>(g.universe())) {
+  NAB_ASSERT(f >= 0, "fault budget must be non-negative");
+  const auto nodes = g.active_nodes();
+  for (graph::node_id u : nodes)
+    for (graph::node_id v : nodes) {
+      if (u == v) continue;
+      auto& route_set = routes_[pair_index(u, v)];
+      if (g.has_edge(u, v)) {
+        route_set = {{u, v}};
+        continue;
+      }
+      // 2f+1 node-disjoint paths; node_disjoint_paths throws if infeasible,
+      // which violates the paper's connectivity precondition.
+      try {
+        route_set = graph::node_disjoint_paths(g, u, v, 2 * f + 1);
+      } catch (const error& e) {
+        throw error("channel_plan: pair (" + std::to_string(u) + "," +
+                    std::to_string(v) + ") lacks 2f+1 disjoint paths: " + e.what());
+      }
+    }
+}
+
+void channel_plan::unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
+                           std::vector<std::uint64_t> payload, std::uint64_t bits) {
+  NAB_ASSERT(!routes_[pair_index(from, to)].empty(),
+             "unicast between nodes with no planned route");
+  queued_.push_back({from, to, tag, std::move(payload), bits});
+}
+
+double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
+                               relay_adversary* adv) {
+  for (auto& box : inboxes_) box.clear();
+
+  for (sim::message& m : queued_) {
+    const auto& route_set = routes_[pair_index(m.from, m.to)];
+    // Charge every link of every route; collect one copy per route.
+    std::vector<std::vector<std::uint64_t>> copies;
+    copies.reserve(route_set.size());
+    for (const auto& path : route_set) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        net.charge(path[i], path[i + 1], m.bits);
+      bool compromised_relay = false;
+      for (std::size_t i = 1; i + 1 < path.size(); ++i)
+        if (faults.is_corrupt(path[i])) compromised_relay = true;
+      std::vector<std::uint64_t> copy = m.payload;
+      if (compromised_relay && adv != nullptr) {
+        if (auto forged = adv->tamper(path, m)) copy = std::move(*forged);
+      }
+      copies.push_back(std::move(copy));
+    }
+    // Majority-resolve the copies (a single direct-link route is its own
+    // majority). Ties resolve to the lexicographically smallest payload so
+    // every honest receiver applies the same deterministic rule.
+    std::map<std::vector<std::uint64_t>, int> votes;
+    for (const auto& c : copies) ++votes[c];
+    const auto winner =
+        std::max_element(votes.begin(), votes.end(), [](const auto& a, const auto& b) {
+          return a.second < b.second ||
+                 (a.second == b.second && b.first < a.first);
+        });
+    sim::message delivered = m;
+    delivered.payload = winner->first;
+    inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(delivered));
+  }
+  queued_.clear();
+  return net.end_step();
+}
+
+const std::vector<sim::message>& channel_plan::inbox(graph::node_id v) const {
+  NAB_ASSERT(v >= 0 && v < static_cast<graph::node_id>(inboxes_.size()),
+             "channel inbox out of range");
+  return inboxes_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<std::vector<graph::node_id>>& channel_plan::routes(
+    graph::node_id from, graph::node_id to) const {
+  return routes_[pair_index(from, to)];
+}
+
+}  // namespace nab::bb

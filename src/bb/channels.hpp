@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/faults.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+
+namespace nab::bb {
+
+/// Hook allowing corrupt *relays* to tamper with copies forwarded along
+/// emulated multi-hop paths. The default (returning nullopt) relays
+/// honestly; returning a payload substitutes it. Majority voting over 2f+1
+/// node-disjoint paths makes any tampering ineffective when the sender is
+/// honest — tests exercise exactly that.
+class relay_adversary {
+ public:
+  virtual ~relay_adversary() = default;
+
+  /// `path` is the full node sequence; called only when some interior relay
+  /// is corrupt.
+  virtual std::optional<std::vector<std::uint64_t>> tamper(
+      const std::vector<graph::node_id>& path, const sim::message& m) {
+    (void)path;
+    (void)m;
+    return std::nullopt;
+  }
+};
+
+/// Reliable pairwise channels over an arbitrary (>= 2f+1)-connected network.
+///
+/// The paper's step 2.2 and Phase 3 run classical BB protocols that assume a
+/// complete graph; on incomplete topologies it emulates each logical channel
+/// by sending the same data along 2f+1 node-disjoint paths and taking the
+/// majority at the receiver (Appendix D). This class precomputes those
+/// routes once per topology and provides round-structured logical unicasts
+/// with exact link-level bit accounting: every link of every path is charged
+/// the full payload size in the step where the round ends.
+///
+/// Accounting model: multi-hop forwarding within one synchronous step
+/// (cut-through); see DESIGN.md §2.
+class channel_plan {
+ public:
+  /// Builds routes for every ordered pair of active nodes. Throws nab::error
+  /// if some pair admits neither a direct link nor 2f+1 disjoint paths.
+  channel_plan(const graph::digraph& g, int f);
+
+  /// Queues a logical unicast for the current round.
+  void unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
+               std::vector<std::uint64_t> payload, std::uint64_t bits);
+
+  /// Ends the round: charges `net`, applies relay tampering on compromised
+  /// paths, majority-resolves copies, and fills the channel inboxes.
+  /// Returns the step duration.
+  double end_round(sim::network& net, const sim::fault_set& faults,
+                   relay_adversary* adv = nullptr);
+
+  /// Logical messages delivered to v in the last completed round.
+  const std::vector<sim::message>& inbox(graph::node_id v) const;
+
+  /// The routes used for the ordered pair (from, to): one single-link route
+  /// or 2f+1 node-disjoint paths.
+  const std::vector<std::vector<graph::node_id>>& routes(graph::node_id from,
+                                                         graph::node_id to) const;
+
+  int fault_budget() const { return f_; }
+
+  /// The topology the plan was built for (participants = its active nodes).
+  const graph::digraph& topology() const { return topo_; }
+
+ private:
+  graph::digraph topo_;
+  int f_;
+  std::vector<std::vector<std::vector<graph::node_id>>> routes_;  // [from*n+to]
+  std::vector<sim::message> queued_;
+  std::vector<std::vector<sim::message>> inboxes_;
+
+  std::size_t pair_index(graph::node_id u, graph::node_id v) const {
+    return static_cast<std::size_t>(u) * topo_.universe() + v;
+  }
+};
+
+}  // namespace nab::bb

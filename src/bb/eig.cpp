@@ -1,0 +1,170 @@
+#include "bb/eig.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace nab::bb {
+namespace {
+
+using label = std::vector<graph::node_id>;
+
+/// Wire encoding of (label, value): [len, id..., value words...].
+std::vector<std::uint64_t> encode(const label& sigma, const value& v) {
+  std::vector<std::uint64_t> out;
+  out.reserve(1 + sigma.size() + v.size());
+  out.push_back(sigma.size());
+  for (graph::node_id id : sigma) out.push_back(static_cast<std::uint64_t>(id));
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+bool decode(const std::vector<std::uint64_t>& words, label& sigma, value& v) {
+  if (words.empty()) return false;
+  const std::uint64_t len = words[0];
+  if (words.size() < 1 + len) return false;
+  sigma.assign(words.begin() + 1, words.begin() + 1 + static_cast<std::ptrdiff_t>(len));
+  v.assign(words.begin() + 1 + static_cast<std::ptrdiff_t>(len), words.end());
+  return true;
+}
+
+bool contains(const label& sigma, graph::node_id v) {
+  return std::find(sigma.begin(), sigma.end(), v) != sigma.end();
+}
+
+/// Per-instance, per-node EIG tree storage.
+using tree = std::map<label, value>;
+
+/// Bottom-up PSL resolution: leaves return their stored value, internal
+/// labels take the strict majority of their children (default value when no
+/// majority).
+value resolve(const tree& t, const label& sigma, const std::vector<graph::node_id>& all,
+              int max_len) {
+  if (static_cast<int>(sigma.size()) == max_len) {
+    const auto it = t.find(sigma);
+    return it == t.end() ? value{} : it->second;
+  }
+  std::map<value, int> votes;
+  int child_count = 0;
+  for (graph::node_id j : all) {
+    if (contains(sigma, j)) continue;
+    label child = sigma;
+    child.push_back(j);
+    ++votes[resolve(t, child, all, max_len)];
+    ++child_count;
+  }
+  for (const auto& [val, count] : votes)
+    if (2 * count > child_count) return val;
+  return value{};
+}
+
+}  // namespace
+
+eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
+                             const sim::fault_set& faults,
+                             const std::vector<eig_instance>& instances, int f,
+                             std::uint64_t value_bits, eig_adversary* adv,
+                             relay_adversary* relay_adv) {
+  const std::vector<graph::node_id> participants = channels.topology().active_nodes();
+  const auto n = static_cast<int>(participants.size());
+  NAB_ASSERT(n > 3 * f, "EIG requires more than 3f participants");
+  const int universe = channels.topology().universe();
+  const int rounds = f + 1;
+
+  eig_result result;
+  result.decisions.assign(instances.size(), std::vector<value>(static_cast<std::size_t>(universe)));
+
+  // store[q][v] = EIG tree of node v for instance q.
+  std::vector<std::vector<tree>> store(instances.size(),
+                                       std::vector<tree>(static_cast<std::size_t>(universe)));
+
+  const double t0 = net.elapsed();
+
+  // Round 1: each source disseminates its input.
+  for (std::size_t q = 0; q < instances.size(); ++q) {
+    const auto& inst = instances[q];
+    NAB_ASSERT(channels.topology().is_active(inst.source), "EIG source must participate");
+    const label root{inst.source};
+    store[q][static_cast<std::size_t>(inst.source)][root] = inst.input;
+    for (graph::node_id r : participants) {
+      if (r == inst.source) continue;
+      value v = inst.input;
+      if (faults.is_corrupt(inst.source) && adv != nullptr)
+        v = adv->source_value(inst.source, r, v);
+      const std::uint64_t vb = inst.value_bits != 0 ? inst.value_bits : value_bits;
+      channels.unicast(inst.source, r, q, encode(root, v), vb + 8 * (root.size() + 1));
+    }
+  }
+  channels.end_round(net, faults, relay_adv);
+  for (std::size_t q = 0; q < instances.size(); ++q)
+    for (graph::node_id r : participants) {
+      for (const sim::message& m : channels.inbox(r)) {
+        if (m.tag != q) continue;
+        label sigma;
+        value v;
+        if (!decode(m.payload, sigma, v)) continue;
+        if (sigma != label{instances[q].source}) continue;  // unexpected label
+        store[q][static_cast<std::size_t>(r)].emplace(sigma, v);
+      }
+    }
+
+  // Rounds 2..f+1: relay every label of the previous round.
+  for (int round = 2; round <= rounds; ++round) {
+    for (std::size_t q = 0; q < instances.size(); ++q) {
+      const std::uint64_t vb =
+          instances[q].value_bits != 0 ? instances[q].value_bits : value_bits;
+      for (graph::node_id i : participants) {
+        std::vector<std::pair<label, value>> self_stores;
+        for (const auto& [sigma, stored] : store[q][static_cast<std::size_t>(i)]) {
+          if (static_cast<int>(sigma.size()) != round - 1 || contains(sigma, i)) continue;
+          for (graph::node_id j : participants) {
+            if (j == i) continue;
+            value v = stored;
+            if (faults.is_corrupt(i) && adv != nullptr)
+              v = adv->relay_value(i, j, sigma, v);
+            channels.unicast(i, j, q, encode(sigma, v), vb + 8 * (sigma.size() + 1));
+          }
+          // A node also "sends to itself": its own tree gets sigma.i with
+          // the honestly stored value (deferred to avoid mutating the map
+          // mid-iteration).
+          label extended = sigma;
+          extended.push_back(i);
+          self_stores.emplace_back(std::move(extended), stored);
+        }
+        for (auto& [sig, val] : self_stores)
+          store[q][static_cast<std::size_t>(i)].emplace(std::move(sig), std::move(val));
+      }
+    }
+    channels.end_round(net, faults, relay_adv);
+    for (std::size_t q = 0; q < instances.size(); ++q)
+      for (graph::node_id j : participants) {
+        for (const sim::message& m : channels.inbox(j)) {
+          if (m.tag != q) continue;
+          label sigma;
+          value v;
+          if (!decode(m.payload, sigma, v)) continue;
+          // Accept only well-formed labels of the expected round, extended
+          // by the actual sender; ignore duplicates (first write wins).
+          if (static_cast<int>(sigma.size()) != round - 1) continue;
+          if (sigma.empty() || sigma[0] != instances[q].source) continue;
+          if (contains(sigma, m.from)) continue;
+          label extended = sigma;
+          extended.push_back(m.from);
+          store[q][static_cast<std::size_t>(j)].emplace(std::move(extended), std::move(v));
+        }
+      }
+  }
+
+  // Resolution.
+  for (std::size_t q = 0; q < instances.size(); ++q)
+    for (graph::node_id v : participants)
+      result.decisions[q][static_cast<std::size_t>(v)] =
+          resolve(store[q][static_cast<std::size_t>(v)], {instances[q].source},
+                  participants, rounds);
+
+  result.time = net.elapsed() - t0;
+  return result;
+}
+
+}  // namespace nab::bb

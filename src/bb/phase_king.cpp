@@ -1,0 +1,128 @@
+#include "bb/phase_king.hpp"
+
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace nab::bb {
+namespace {
+
+/// One all-to-all (or king-to-all) exchange; returns received[receiver][sender].
+std::vector<std::map<graph::node_id, std::uint64_t>> exchange(
+    channel_plan& channels, sim::network& net, const sim::fault_set& faults,
+    const std::vector<graph::node_id>& participants,
+    const std::vector<std::uint64_t>& current, int phase, bool king_round,
+    graph::node_id king, std::uint64_t value_bits, pk_adversary* adv,
+    relay_adversary* relay_adv) {
+  const int universe = channels.topology().universe();
+  for (graph::node_id i : participants) {
+    if (king_round && i != king) continue;
+    for (graph::node_id j : participants) {
+      if (j == i) continue;
+      std::uint64_t v = current[static_cast<std::size_t>(i)];
+      if (faults.is_corrupt(i) && adv != nullptr)
+        v = adv->exchange_value(i, j, phase, king_round, v);
+      channels.unicast(i, j, static_cast<std::uint64_t>(phase), {v}, value_bits);
+    }
+  }
+  channels.end_round(net, faults, relay_adv);
+  std::vector<std::map<graph::node_id, std::uint64_t>> received(
+      static_cast<std::size_t>(universe));
+  for (graph::node_id j : participants)
+    for (const sim::message& m : channels.inbox(j))
+      if (!m.payload.empty()) received[static_cast<std::size_t>(j)][m.from] = m.payload[0];
+  return received;
+}
+
+}  // namespace
+
+pk_result phase_king_consensus(channel_plan& channels, sim::network& net,
+                               const sim::fault_set& faults,
+                               const std::vector<std::uint64_t>& initial, int f,
+                               std::uint64_t value_bits, pk_adversary* adv,
+                               relay_adversary* relay_adv) {
+  const std::vector<graph::node_id> participants = channels.topology().active_nodes();
+  const auto n = static_cast<int>(participants.size());
+  NAB_ASSERT(n > 4 * f, "phase-king (simple variant) requires more than 4f participants");
+  NAB_ASSERT(initial.size() >= static_cast<std::size_t>(channels.topology().universe()),
+             "initial values must cover the node universe");
+
+  std::vector<std::uint64_t> current = initial;
+  const double t0 = net.elapsed();
+
+  for (int phase = 0; phase <= f; ++phase) {
+    // Round A: all-to-all exchange; take the most frequent value.
+    const auto seen = exchange(channels, net, faults, participants, current, phase,
+                               /*king_round=*/false, -1, value_bits, adv, relay_adv);
+    std::vector<std::uint64_t> maj(current.size(), 0);
+    std::vector<int> mult(current.size(), 0);
+    for (graph::node_id v : participants) {
+      std::map<std::uint64_t, int> votes;
+      ++votes[current[static_cast<std::size_t>(v)]];  // own value counts
+      for (const auto& [from, val] : seen[static_cast<std::size_t>(v)]) ++votes[val];
+      int best = 0;
+      std::uint64_t best_val = 0;
+      for (const auto& [val, count] : votes)
+        if (count > best || (count == best && val < best_val)) {
+          best = count;
+          best_val = val;
+        }
+      maj[static_cast<std::size_t>(v)] = best_val;
+      mult[static_cast<std::size_t>(v)] = best;
+    }
+
+    // Round B: the phase king broadcasts its majority value.
+    const graph::node_id king = participants[static_cast<std::size_t>(phase) %
+                                             participants.size()];
+    const auto king_msgs = exchange(channels, net, faults, participants, maj, phase,
+                                    /*king_round=*/true, king, value_bits, adv,
+                                    relay_adv);
+    for (graph::node_id v : participants) {
+      const bool confident =
+          2 * mult[static_cast<std::size_t>(v)] > n + 2 * f;  // mult > n/2 + f
+      if (confident || v == king) {
+        current[static_cast<std::size_t>(v)] = maj[static_cast<std::size_t>(v)];
+      } else {
+        const auto& inbox = king_msgs[static_cast<std::size_t>(v)];
+        const auto it = inbox.find(king);
+        current[static_cast<std::size_t>(v)] = it == inbox.end() ? 0 : it->second;
+      }
+    }
+  }
+
+  pk_result out;
+  out.decided = std::move(current);
+  out.time = net.elapsed() - t0;
+  return out;
+}
+
+pk_result phase_king_broadcast(channel_plan& channels, sim::network& net,
+                               const sim::fault_set& faults, graph::node_id source,
+                               std::uint64_t input, int f, std::uint64_t value_bits,
+                               pk_adversary* adv, relay_adversary* relay_adv) {
+  const std::vector<graph::node_id> participants = channels.topology().active_nodes();
+  const int universe = channels.topology().universe();
+
+  // Dissemination round: the source sends its input to everyone.
+  for (graph::node_id j : participants) {
+    if (j == source) continue;
+    std::uint64_t v = input;
+    if (faults.is_corrupt(source) && adv != nullptr)
+      v = adv->exchange_value(source, j, /*phase=*/-1, /*is_king_round=*/false, v);
+    channels.unicast(source, j, 0, {v}, value_bits);
+  }
+  channels.end_round(net, faults, relay_adv);
+
+  std::vector<std::uint64_t> initial(static_cast<std::size_t>(universe), 0);
+  initial[static_cast<std::size_t>(source)] = input;
+  for (graph::node_id j : participants) {
+    if (j == source) continue;
+    for (const sim::message& m : channels.inbox(j))
+      if (m.from == source && !m.payload.empty())
+        initial[static_cast<std::size_t>(j)] = m.payload[0];
+  }
+  return phase_king_consensus(channels, net, faults, initial, f, value_bits, adv,
+                              relay_adv);
+}
+
+}  // namespace nab::bb

@@ -1,0 +1,115 @@
+#include "core/adversary.hpp"
+
+namespace nab::core {
+namespace {
+
+void push_words16(std::vector<std::uint64_t>& out, const std::vector<word>& ws) {
+  out.push_back(ws.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    acc |= static_cast<std::uint64_t>(ws[i]) << (16 * (i % 4));
+    if (i % 4 == 3) {
+      out.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (ws.size() % 4 != 0) out.push_back(acc);
+}
+
+bool read_words16(const std::vector<std::uint64_t>& in, std::size_t& pos,
+                  std::vector<word>& out) {
+  if (pos >= in.size()) return false;
+  const std::uint64_t len = in[pos++];
+  if (len > (1u << 24)) return false;  // sanity bound on claim size
+  const std::size_t packed = (static_cast<std::size_t>(len) + 3) / 4;
+  if (pos + packed > in.size()) return false;
+  out.resize(static_cast<std::size_t>(len));
+  for (std::size_t i = 0; i < len; ++i)
+    out[i] = static_cast<word>(in[pos + i / 4] >> (16 * (i % 4)));
+  pos += packed;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t node_claims::bits() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : p1_sent) total += 48 + 16 * c.size();
+  for (const auto& [key, c] : p1_received) total += 48 + 16 * c.size();
+  for (const auto& [key, c] : p2_sent) total += 32 + c.bits();
+  for (const auto& [key, c] : p2_received) total += 32 + c.bits();
+  return total + 64;
+}
+
+std::vector<std::uint64_t> node_claims::pack() const {
+  std::vector<std::uint64_t> out;
+  auto pack_p1 = [&](const auto& section) {
+    out.push_back(section.size());
+    for (const auto& [key, c] : section) {
+      out.push_back(static_cast<std::uint64_t>(std::get<0>(key)));
+      out.push_back(static_cast<std::uint64_t>(std::get<1>(key)));
+      out.push_back(static_cast<std::uint64_t>(std::get<2>(key)));
+      push_words16(out, c);
+    }
+  };
+  auto pack_p2 = [&](const auto& section) {
+    out.push_back(section.size());
+    for (const auto& [key, c] : section) {
+      out.push_back(static_cast<std::uint64_t>(key.first));
+      out.push_back(static_cast<std::uint64_t>(key.second));
+      out.push_back(static_cast<std::uint64_t>(c.count));
+      out.push_back(static_cast<std::uint64_t>(c.slices));
+      push_words16(out, c.words);
+    }
+  };
+  pack_p1(p1_sent);
+  pack_p1(p1_received);
+  pack_p2(p2_sent);
+  pack_p2(p2_received);
+  return out;
+}
+
+bool node_claims::unpack(const std::vector<std::uint64_t>& words, node_claims& out) {
+  out = node_claims{};
+  std::size_t pos = 0;
+  auto read_count = [&](std::uint64_t& n) {
+    if (pos >= words.size()) return false;
+    n = words[pos++];
+    return n <= (1u << 20);
+  };
+  auto unpack_p1 = [&](auto& section) {
+    std::uint64_t n = 0;
+    if (!read_count(n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (pos + 3 > words.size()) return false;
+      const int tree = static_cast<int>(words[pos++]);
+      const auto from = static_cast<graph::node_id>(words[pos++]);
+      const auto to = static_cast<graph::node_id>(words[pos++]);
+      chunk c;
+      if (!read_words16(words, pos, c)) return false;
+      section[{tree, from, to}] = std::move(c);
+    }
+    return true;
+  };
+  auto unpack_p2 = [&](auto& section) {
+    std::uint64_t n = 0;
+    if (!read_count(n)) return false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (pos + 4 > words.size()) return false;
+      const auto from = static_cast<graph::node_id>(words[pos++]);
+      const auto to = static_cast<graph::node_id>(words[pos++]);
+      coded_symbols c;
+      c.count = static_cast<int>(words[pos++]);
+      c.slices = static_cast<int>(words[pos++]);
+      if (c.count < 0 || c.slices < 0) return false;
+      if (!read_words16(words, pos, c.words)) return false;
+      if (c.words.size() != static_cast<std::size_t>(c.count) * c.slices) return false;
+      section[{from, to}] = std::move(c);
+    }
+    return true;
+  };
+  return unpack_p1(out.p1_sent) && unpack_p1(out.p1_received) &&
+         unpack_p2(out.p2_sent) && unpack_p2(out.p2_received) && pos == words.size();
+}
+
+}  // namespace nab::core

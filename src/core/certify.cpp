@@ -1,0 +1,87 @@
+#include "core/certify.hpp"
+
+#include <cmath>
+
+#include "gf/linalg.hpp"
+#include "util/assert.hpp"
+
+namespace nab::core {
+
+gf::matrix<gf::gf2_16> build_check_matrix(const graph::digraph& g,
+                                          const std::vector<graph::node_id>& h,
+                                          const coding_scheme& coding) {
+  NAB_ASSERT(!h.empty(), "check matrix needs a nonempty subgraph");
+  const int rho = coding.rho();
+  const std::size_t blocks = h.size() - 1;  // last node of h is the reference
+
+  // Position of each node among the non-reference blocks; -1 for reference
+  // and for nodes outside H.
+  std::vector<int> pos(static_cast<std::size_t>(g.universe()), -1);
+  for (std::size_t i = 0; i + 1 < h.size(); ++i)
+    pos[static_cast<std::size_t>(h[i])] = static_cast<int>(i);
+  const graph::node_id ref = h.back();
+
+  // Count columns: total capacity of directed edges inside H.
+  std::size_t cols = 0;
+  for (const graph::edge& e : g.edges()) {
+    const bool from_in = pos[static_cast<std::size_t>(e.from)] >= 0 || e.from == ref;
+    const bool to_in = pos[static_cast<std::size_t>(e.to)] >= 0 || e.to == ref;
+    if (from_in && to_in) cols += static_cast<std::size_t>(e.cap);
+  }
+
+  gf::matrix<gf::gf2_16> ch(blocks * static_cast<std::size_t>(rho), cols);
+  std::size_t col = 0;
+  for (const graph::edge& e : g.edges()) {
+    const bool from_in = pos[static_cast<std::size_t>(e.from)] >= 0 || e.from == ref;
+    const bool to_in = pos[static_cast<std::size_t>(e.to)] >= 0 || e.to == ref;
+    if (!from_in || !to_in) continue;
+    const auto& ce = coding.matrix_for(e.from, e.to);
+    NAB_ASSERT(static_cast<graph::capacity_t>(ce.cols()) == e.cap,
+               "coding matrix width must equal edge capacity");
+    for (std::size_t k = 0; k < ce.cols(); ++k, ++col) {
+      // Block of the tail node gets C_e, block of the head gets -C_e; the
+      // two coincide over GF(2^16). The reference node has no block.
+      const int pi = pos[static_cast<std::size_t>(e.from)];
+      const int pj = pos[static_cast<std::size_t>(e.to)];
+      for (int s = 0; s < rho; ++s) {
+        const word c = ce.at(static_cast<std::size_t>(s), k);
+        if (pi >= 0)
+          ch.at(static_cast<std::size_t>(pi) * rho + s, col) = c;
+        if (pj >= 0)
+          ch.at(static_cast<std::size_t>(pj) * rho + s, col) = c;
+      }
+    }
+  }
+  NAB_ASSERT(col == cols, "column count mismatch while building C_H");
+  return ch;
+}
+
+certification certify_coding(const graph::digraph& g, int f,
+                             const dispute_record& disputes,
+                             const coding_scheme& coding) {
+  certification out;
+  out.ok = true;
+  for (const auto& h : omega_subgraphs(g, f, disputes)) {
+    if (h.size() <= 1) continue;  // nothing to distinguish
+    auto ch = build_check_matrix(g, h, coding);
+    const std::size_t need = (h.size() - 1) * static_cast<std::size_t>(coding.rho());
+    if (gf::rank(std::move(ch)) != need) {
+      out.ok = false;
+      out.failing.push_back(h);
+    }
+  }
+  return out;
+}
+
+double theorem1_failure_bound(int n, int f, int rho, int field_bits) {
+  NAB_ASSERT(n > f && f >= 0 && rho > 0 && field_bits > 0,
+             "invalid Theorem 1 parameters");
+  // C(n, n-f) = C(n, f).
+  double binom = 1.0;
+  for (int i = 0; i < f; ++i) binom = binom * (n - i) / (i + 1);
+  const double bound =
+      binom * (n - f - 1) * rho * std::pow(2.0, -static_cast<double>(field_bits));
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+}  // namespace nab::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/coding.hpp"
+#include "core/omega.hpp"
+#include "gf/matrix.hpp"
+#include "graph/digraph.hpp"
+
+namespace nab::core {
+
+/// Result of certifying a coding scheme against Theorem 1's condition.
+struct certification {
+  bool ok = false;
+  /// Subgraphs H in Omega_k whose check matrix C_H is rank-deficient (empty
+  /// when ok).
+  std::vector<std::vector<graph::node_id>> failing;
+};
+
+/// Builds the paper's C_H matrix (Appendix C.1) for one candidate fault-free
+/// subgraph H: rows indexed by (node-position, symbol) with the last node of
+/// `h` as the reference, one column per capacity unit of every directed edge
+/// of g inside H. In characteristic 2 the +C_e / -C_e blocks coincide.
+gf::matrix<gf::gf2_16> build_check_matrix(const graph::digraph& g,
+                                          const std::vector<graph::node_id>& h,
+                                          const coding_scheme& coding);
+
+/// Deterministically certifies the Equality Check property (EC): for every
+/// H in Omega_k, D_H C_H = 0 must imply D_H = 0, i.e. rank(C_H) =
+/// (n-f-1) * rho. Theorem 1 shows random matrices satisfy this with
+/// probability >= 1 - 2^{-L/rho} C(n, n-f) (n-f-1) rho; this routine turns
+/// the probabilistic statement into a checked certificate, so a deployment
+/// can regenerate with a fresh seed on the (astronomically rare) failure.
+certification certify_coding(const graph::digraph& g, int f,
+                             const dispute_record& disputes,
+                             const coding_scheme& coding);
+
+/// The failure-probability upper bound of Theorem 1 for field size
+/// 2^field_bits: C(n, n-f) * (n-f-1) * rho / 2^field_bits (clamped to 1).
+double theorem1_failure_bound(int n, int f, int rho, int field_bits);
+
+}  // namespace nab::core

@@ -1,0 +1,81 @@
+#include "core/coding.hpp"
+
+#include "util/assert.hpp"
+
+namespace nab::core {
+
+std::vector<std::uint64_t> coded_symbols::pack() const {
+  std::vector<std::uint64_t> out((words.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    out[i / 4] |= static_cast<std::uint64_t>(words[i]) << (16 * (i % 4));
+  return out;
+}
+
+coded_symbols coded_symbols::unpack(int count, int slices,
+                                    const std::vector<std::uint64_t>& packed) {
+  coded_symbols out;
+  out.count = count;
+  out.slices = slices;
+  out.words.assign(static_cast<std::size_t>(count) * slices, 0);
+  for (std::size_t i = 0; i < out.words.size(); ++i) {
+    const std::size_t w = i / 4;
+    out.words[i] = w < packed.size() ? static_cast<word>(packed[w] >> (16 * (i % 4))) : 0;
+  }
+  return out;
+}
+
+coding_scheme coding_scheme::generate(const graph::digraph& g, int rho,
+                                      std::uint64_t seed) {
+  NAB_ASSERT(rho > 0, "coding_scheme requires rho > 0");
+  coding_scheme out;
+  out.rho_ = rho;
+  out.universe_ = g.universe();
+  out.matrices_.resize(static_cast<std::size_t>(g.universe()) * g.universe());
+  rng rand(seed);
+  for (const graph::edge& e : g.edges()) {
+    out.matrices_[out.index(e.from, e.to)] = gf::matrix<gf::gf2_16>::random(
+        static_cast<std::size_t>(rho), static_cast<std::size_t>(e.cap), rand);
+  }
+  return out;
+}
+
+const gf::matrix<gf::gf2_16>& coding_scheme::matrix_for(graph::node_id u,
+                                                        graph::node_id v) const {
+  const auto& m = matrices_[index(u, v)];
+  NAB_ASSERT(!m.empty(), "no coding matrix for this edge");
+  return m;
+}
+
+bool coding_scheme::has_matrix(graph::node_id u, graph::node_id v) const {
+  return u >= 0 && v >= 0 && u < universe_ && v < universe_ &&
+         !matrices_[index(u, v)].empty();
+}
+
+coded_symbols coding_scheme::encode(const value_vector& x, graph::node_id u,
+                                    graph::node_id v) const {
+  const auto& ce = matrix_for(u, v);
+  NAB_ASSERT(static_cast<int>(ce.rows()) == x.rho(),
+             "value shape does not match coding matrix");
+  coded_symbols out;
+  out.count = static_cast<int>(ce.cols());
+  out.slices = x.slices();
+  out.words.assign(static_cast<std::size_t>(out.count) * out.slices, 0);
+  using F = gf::gf2_16;
+  for (int k = 0; k < out.count; ++k)
+    for (int s = 0; s < x.rho(); ++s) {
+      const word c = ce.at(static_cast<std::size_t>(s), static_cast<std::size_t>(k));
+      if (c == 0) continue;
+      for (int t = 0; t < x.slices(); ++t) {
+        word& acc = out.words[static_cast<std::size_t>(k) * out.slices + t];
+        acc = F::add(acc, F::mul(c, x.symbol(s, t)));
+      }
+    }
+  return out;
+}
+
+bool coding_scheme::check(const value_vector& x, graph::node_id u, graph::node_id v,
+                          const coded_symbols& received) const {
+  return encode(x, u, v) == received;
+}
+
+}  // namespace nab::core

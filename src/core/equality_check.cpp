@@ -1,0 +1,55 @@
+#include "core/equality_check.hpp"
+
+#include "util/assert.hpp"
+
+namespace nab::core {
+
+equality_check_result run_equality_check(sim::network& net, const graph::digraph& g,
+                                         const sim::fault_set& faults,
+                                         const coding_scheme& coding,
+                                         const std::vector<value_vector>& values,
+                                         nab_adversary* adv) {
+  const int universe = g.universe();
+  NAB_ASSERT(values.size() >= static_cast<std::size_t>(universe),
+             "values must cover the node universe");
+
+  equality_check_result result;
+  result.flags.assign(static_cast<std::size_t>(universe), false);
+  result.truth.assign(static_cast<std::size_t>(universe), node_claims{});
+  const double t0 = net.elapsed();
+
+  // Step 1: one coded transmission per directed edge.
+  // actual[(u,v)] lives in the receiver's truth record after the step.
+  for (const graph::edge& e : g.edges()) {
+    const value_vector& x = values[static_cast<std::size_t>(e.from)];
+    coded_symbols honest = coding.encode(x, e.from, e.to);
+    coded_symbols sent = honest;
+    if (faults.is_corrupt(e.from) && adv != nullptr) {
+      sent = adv->phase2_coded(e.from, e.to, honest);
+      NAB_ASSERT(sent.count == honest.count && sent.slices == honest.slices,
+                 "adversary must respect the wire format of coded symbols");
+    }
+    net.charge(e.from, e.to, sent.bits());
+    result.truth[static_cast<std::size_t>(e.from)].p2_sent[{e.from, e.to}] = sent;
+    result.truth[static_cast<std::size_t>(e.to)].p2_received[{e.from, e.to}] = sent;
+  }
+  net.end_step();
+
+  // Step 2-3: each node verifies every incoming edge against its own value.
+  for (graph::node_id v : g.active_nodes()) {
+    const value_vector& x = values[static_cast<std::size_t>(v)];
+    bool mismatch = false;
+    for (const auto& [key, received] : result.truth[static_cast<std::size_t>(v)].p2_received) {
+      if (!coding.check(x, key.first, key.second, received)) {
+        mismatch = true;
+        break;
+      }
+    }
+    result.flags[static_cast<std::size_t>(v)] = mismatch;
+  }
+
+  result.time = net.elapsed() - t0;
+  return result;
+}
+
+}  // namespace nab::core

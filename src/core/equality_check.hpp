@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "core/coding.hpp"
+#include "core/value.hpp"
+#include "graph/digraph.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace nab::core {
+
+/// Result of one Equality Check round (Algorithm 1).
+struct equality_check_result {
+  /// flags[v] = true iff node v's checks failed on some incoming edge
+  /// (the MISMATCH flag of step 3). Honest computation; a corrupt node may
+  /// later announce a different flag in step 2.2.
+  std::vector<bool> flags;
+  /// Per-node ground-truth transcripts (p2_* sections filled in).
+  std::vector<node_claims> truth;
+  double time = 0.0;
+};
+
+/// Runs Algorithm 1 on the active subgraph of g: every node i sends
+/// Y_e = X_i C_e on each outgoing edge e (z_e coded symbols of L/rho bits),
+/// then verifies Y_d = X_i C_d on each incoming edge d. A single round,
+/// no forwarding — a faulty node can send garbage but cannot tamper traffic
+/// between fault-free nodes (the algorithm's salient feature).
+///
+/// `values[v]` is node v's Phase-1 value (shape rho x slices). Takes exactly
+/// L/rho_k time on the wire: each link e carries z_e (L/rho) bits.
+equality_check_result run_equality_check(sim::network& net, const graph::digraph& g,
+                                         const sim::fault_set& faults,
+                                         const coding_scheme& coding,
+                                         const std::vector<value_vector>& values,
+                                         nab_adversary* adv = nullptr);
+
+}  // namespace nab::core

@@ -1,0 +1,85 @@
+#include "core/omega.hpp"
+
+#include <algorithm>
+
+#include "graph/mincut.hpp"
+#include "util/assert.hpp"
+
+namespace nab::core {
+
+void dispute_record::add_dispute(graph::node_id a, graph::node_id b) {
+  NAB_ASSERT(a != b, "a node cannot dispute itself");
+  pairs_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool dispute_record::in_dispute(graph::node_id a, graph::node_id b) const {
+  return pairs_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+int dispute_record::dispute_degree(graph::node_id v) const {
+  int deg = 0;
+  for (const auto& [a, b] : pairs_)
+    if (a == v || b == v) ++deg;
+  return deg;
+}
+
+namespace {
+
+void enumerate_subsets(const std::vector<graph::node_id>& nodes, std::size_t target,
+                       std::size_t start, std::vector<graph::node_id>& current,
+                       const dispute_record& disputes,
+                       std::vector<std::vector<graph::node_id>>& out) {
+  if (current.size() == target) {
+    out.push_back(current);
+    return;
+  }
+  if (nodes.size() - start < target - current.size()) return;  // not enough left
+  for (std::size_t i = start; i < nodes.size(); ++i) {
+    const graph::node_id candidate = nodes[i];
+    bool clean = true;
+    for (graph::node_id chosen : current)
+      if (disputes.in_dispute(chosen, candidate)) {
+        clean = false;
+        break;
+      }
+    if (!clean) continue;
+    current.push_back(candidate);
+    enumerate_subsets(nodes, target, i + 1, current, disputes, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<graph::node_id>> omega_subgraphs(const graph::digraph& g, int f,
+                                                         const dispute_record& disputes) {
+  const int n = g.universe();
+  NAB_ASSERT(f >= 0 && n - f >= 1, "invalid fault budget for omega_subgraphs");
+  const std::vector<graph::node_id> nodes = g.active_nodes();
+  const auto target = static_cast<std::size_t>(n - f);
+  std::vector<std::vector<graph::node_id>> out;
+  if (nodes.size() < target) return out;
+  std::vector<graph::node_id> current;
+  enumerate_subsets(nodes, target, 0, current, disputes, out);
+  return out;
+}
+
+graph::capacity_t compute_uk(const graph::digraph& g, int f,
+                             const dispute_record& disputes) {
+  const auto subgraphs = omega_subgraphs(g, f, disputes);
+  if (subgraphs.empty()) return 0;
+  const graph::ugraph u = to_undirected(g);
+  graph::capacity_t best = -1;
+  for (const auto& h : subgraphs) {
+    const graph::capacity_t cut =
+        h.size() < 2 ? 0 : graph::pairwise_min_cut(u.induced(h));
+    if (best < 0 || cut < best) best = cut;
+  }
+  return best < 0 ? 0 : best;
+}
+
+graph::capacity_t compute_rho(graph::capacity_t uk) {
+  return std::max<graph::capacity_t>(uk / 2, 1);
+}
+
+}  // namespace nab::core

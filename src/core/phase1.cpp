@@ -1,0 +1,126 @@
+#include "core/phase1.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nab::core {
+
+std::vector<chunk> split_into_chunks(const std::vector<word>& input, int shares) {
+  NAB_ASSERT(shares > 0, "split_into_chunks requires positive share count");
+  const std::size_t per = (input.size() + shares - 1) / shares;
+  std::vector<chunk> out(static_cast<std::size_t>(shares), chunk(per, 0));
+  for (std::size_t i = 0; i < input.size(); ++i) out[i / per][i % per] = input[i];
+  return out;
+}
+
+std::vector<word> assemble_chunks(const std::vector<chunk>& chunks, std::size_t total) {
+  std::vector<word> out(total, 0);
+  std::size_t pos = 0;
+  for (const chunk& c : chunks)
+    for (word w : c) {
+      if (pos >= total) return out;
+      out[pos++] = w;
+    }
+  return out;
+}
+
+phase1_result run_phase1(sim::network& net, const graph::digraph& g,
+                         const sim::fault_set& faults, graph::node_id source,
+                         const std::vector<word>& input,
+                         const std::vector<graph::spanning_tree>& trees,
+                         nab_adversary* adv, propagation_mode mode) {
+  NAB_ASSERT(!trees.empty(), "phase 1 needs at least one arborescence");
+  const int universe = g.universe();
+  const auto gamma = static_cast<int>(trees.size());
+  const std::vector<chunk> shares = split_into_chunks(input, gamma);
+  const std::uint64_t chunk_bits = 16 * shares[0].size();
+
+  phase1_result result;
+  result.received.assign(static_cast<std::size_t>(universe), {});
+  result.truth.assign(static_cast<std::size_t>(universe), node_claims{});
+  result.trees = trees;
+  const double t0 = net.elapsed();
+
+  // holding[t][v] = chunk node v currently holds for tree t.
+  std::vector<std::vector<chunk>> holding(
+      trees.size(), std::vector<chunk>(static_cast<std::size_t>(universe)));
+
+  // Order tree edges by depth so parents transmit before children; compute
+  // the per-edge depth for the store-and-forward schedule.
+  struct scheduled_edge {
+    int tree;
+    graph::node_id from;
+    graph::node_id to;
+    int level;  // 1 = edge out of the source
+  };
+  std::vector<scheduled_edge> schedule;
+  int max_depth = 0;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const auto parents = trees[t].parents(universe);
+    // Depth of each node in this tree.
+    std::vector<int> depth(static_cast<std::size_t>(universe), -1);
+    depth[static_cast<std::size_t>(source)] = 0;
+    // Repeatedly settle nodes whose parent's depth is known (trees are
+    // shallow; quadratic settling keeps the code simple).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (const graph::edge& e : trees[t].edges) {
+        if (depth[static_cast<std::size_t>(e.to)] >= 0) continue;
+        const int dp = depth[static_cast<std::size_t>(e.from)];
+        if (dp >= 0) {
+          depth[static_cast<std::size_t>(e.to)] = dp + 1;
+          progress = true;
+        }
+      }
+    }
+    for (const graph::edge& e : trees[t].edges) {
+      const int lvl = depth[static_cast<std::size_t>(e.to)];
+      NAB_ASSERT(lvl > 0, "tree edge disconnected from the source");
+      schedule.push_back({static_cast<int>(t), e.from, e.to, lvl});
+      max_depth = std::max(max_depth, lvl);
+    }
+    holding[t][static_cast<std::size_t>(source)] = shares[t];
+  }
+  result.depth = max_depth;
+
+  // Transmit level by level. In cut_through mode everything lands in one
+  // network step (zero propagation delay: every tree edge is busy for the
+  // same L/gamma interval); in store_and_forward each level is its own step.
+  for (int level = 1; level <= max_depth; ++level) {
+    for (const scheduled_edge& se : schedule) {
+      if (se.level != level) continue;
+      const chunk& have = holding[static_cast<std::size_t>(se.tree)]
+                                 [static_cast<std::size_t>(se.from)];
+      chunk send = have;
+      if (faults.is_corrupt(se.from) && adv != nullptr) {
+        send = se.from == source ? adv->phase1_source_chunk(se.tree, se.to, have)
+                                 : adv->phase1_forward_chunk(se.tree, se.from, se.to, have);
+        send.resize(have.size(), 0);  // the wire carries exactly L/gamma bits
+      }
+      net.charge(se.from, se.to, chunk_bits);
+      holding[static_cast<std::size_t>(se.tree)][static_cast<std::size_t>(se.to)] = send;
+
+      auto& sender_truth = result.truth[static_cast<std::size_t>(se.from)];
+      auto& receiver_truth = result.truth[static_cast<std::size_t>(se.to)];
+      sender_truth.p1_sent[{se.tree, se.from, se.to}] = send;
+      receiver_truth.p1_received[{se.tree, se.from, se.to}] = send;
+    }
+    if (mode == propagation_mode::store_and_forward) net.end_step();
+  }
+  if (mode == propagation_mode::cut_through) net.end_step();
+
+  // Assemble per-node values.
+  for (graph::node_id v : g.active_nodes()) {
+    std::vector<chunk> got(trees.size());
+    for (std::size_t t = 0; t < trees.size(); ++t)
+      got[t] = v == source ? shares[t]
+                           : holding[t][static_cast<std::size_t>(v)];
+    result.received[static_cast<std::size_t>(v)] = assemble_chunks(got, input.size());
+  }
+  result.time = net.elapsed() - t0;
+  return result;
+}
+
+}  // namespace nab::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adversary.hpp"
+#include "graph/digraph.hpp"
+#include "graph/tree_packing.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+
+namespace nab::core {
+
+/// How Phase-1 forwarding time is modeled.
+enum class propagation_mode {
+  /// The paper's default: zero propagation delay, so all tree edges carry
+  /// their share concurrently and Phase 1 takes L/gamma_k (one step).
+  cut_through,
+  /// Store-and-forward: a node forwards a share only after fully receiving
+  /// it, so Phase 1 spans depth * L/gamma_k. This is the regime Appendix D's
+  /// pipelining (Figure 3) fixes; bench E7 contrasts the two.
+  store_and_forward,
+};
+
+/// Result of the unreliable broadcast.
+struct phase1_result {
+  /// Words assembled by each node (indexed by node id; meaningful for active
+  /// honest nodes). Equals the input at every honest node iff no corruption
+  /// happened on the trees.
+  std::vector<std::vector<word>> received;
+  /// Per-node ground-truth transcripts (the p1_* sections filled in).
+  std::vector<node_claims> truth;
+  /// The arborescence packing used.
+  std::vector<graph::spanning_tree> trees;
+  double time = 0.0;
+  /// Maximum tree depth (hops the value travels).
+  int depth = 0;
+};
+
+/// Phase 1 of NAB (Appendix A): split the input into gamma shares of
+/// L/gamma bits and flood share t along arborescence t of an Edmonds packing
+/// rooted at the source. No fault detection — corrupt relays may deliver
+/// garbage, which Phase 2 will catch.
+///
+/// `input` is the source's L-bit value as 16-bit words; `trees` must be a
+/// valid packing (from pack_arborescences). Missing/extra words at receivers
+/// are zero-filled to the input length.
+phase1_result run_phase1(sim::network& net, const graph::digraph& g,
+                         const sim::fault_set& faults, graph::node_id source,
+                         const std::vector<word>& input,
+                         const std::vector<graph::spanning_tree>& trees,
+                         nab_adversary* adv = nullptr,
+                         propagation_mode mode = propagation_mode::cut_through);
+
+/// Splits `input` into `shares` chunks of ceil(|input|/shares) words each
+/// (zero-padded). Exposed for dispute-control re-execution and tests.
+std::vector<chunk> split_into_chunks(const std::vector<word>& input, int shares);
+
+/// Inverse of split_into_chunks, truncated/padded to `total` words.
+std::vector<word> assemble_chunks(const std::vector<chunk>& chunks, std::size_t total);
+
+}  // namespace nab::core

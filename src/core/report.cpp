@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace nab::core {
+namespace {
+
+std::string pairs_to_string(
+    const std::vector<std::pair<graph::node_id, graph::node_id>>& pairs) {
+  std::ostringstream out;
+  for (const auto& [a, b] : pairs) out << "{" << a << "," << b << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string format_instance(const instance_report& r) {
+  std::ostringstream out;
+  out << "#" << r.index << " n=" << r.active_nodes << " gamma=" << r.gamma
+      << " rho=" << r.rho;
+  if (r.default_outcome) out << " [default-outcome]";
+  if (r.phase1_only) out << " [phase1-only]";
+  out << (r.mismatch_announced ? " MISMATCH" : " clean");
+  if (r.dispute_phase_run) {
+    out << " dispute-control";
+    if (!r.new_disputes.empty()) out << " new=" << pairs_to_string(r.new_disputes);
+    if (!r.newly_convicted.empty()) {
+      out << " convicted=";
+      for (graph::node_id v : r.newly_convicted) out << v << " ";
+    }
+  }
+  out << " t=" << r.total_time();
+  out << (r.agreement && r.validity ? " ok" : " CONTRACT-BROKEN");
+  return out.str();
+}
+
+std::string format_instance_table(const std::vector<instance_report>& reports) {
+  std::ostringstream out;
+  for (const auto& r : reports) out << "  " << format_instance(r) << "\n";
+  return out.str();
+}
+
+std::string format_session_summary(const session& s) {
+  std::ostringstream out;
+  const session_stats& st = s.stats();
+  out << "instances=" << st.instances << " dispute-phases=" << st.dispute_phases
+      << " elapsed=" << st.elapsed << " bits=" << st.bits_broadcast
+      << " throughput=" << st.throughput() << "\n";
+  out << "active nodes: " << s.current_graph().active_count() << "/"
+      << s.current_graph().universe() << "\n";
+  if (!s.disputes().pairs().empty()) {
+    out << "dispute pairs:";
+    for (const auto& [a, b] : s.disputes().pairs()) out << " {" << a << "," << b << "}";
+    out << "\n";
+  }
+  if (!s.disputes().convicted().empty()) {
+    out << "convicted:";
+    for (graph::node_id v : s.disputes().convicted()) out << " " << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string format_bounds(const capacity_bounds& b) {
+  std::ostringstream out;
+  out << "gamma*=" << b.gamma_star << (b.gamma_exact ? " (exact)" : " (estimate)")
+      << " U_1=" << b.u1 << " rho*=" << b.rho_star
+      << " C_BB<=" << b.capacity_upper_bound << " T_NAB>=" << b.nab_throughput_bound
+      << " guaranteed-fraction=" << b.guaranteed_fraction;
+  return out.str();
+}
+
+std::string to_tsv(const std::vector<instance_report>& reports) {
+  std::ostringstream out;
+  out << "index\tactive\tgamma\trho\tmismatch\tdispute\tphase1\tec\tflags\tphase3\t"
+         "total\tagreement\tvalidity\n";
+  for (const auto& r : reports) {
+    out << r.index << "\t" << r.active_nodes << "\t" << r.gamma << "\t" << r.rho << "\t"
+        << (r.mismatch_announced ? 1 : 0) << "\t" << (r.dispute_phase_run ? 1 : 0)
+        << "\t" << r.time_phase1 << "\t" << r.time_equality_check << "\t"
+        << r.time_flags << "\t" << r.time_phase3 << "\t" << r.total_time() << "\t"
+        << (r.agreement ? 1 : 0) << "\t" << (r.validity ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nab::core

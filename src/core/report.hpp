@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/session.hpp"
+
+namespace nab::core {
+
+/// Human-readable one-line summary of a single instance.
+std::string format_instance(const instance_report& r);
+
+/// Aligned multi-line table for a run of instances.
+std::string format_instance_table(const std::vector<instance_report>& reports);
+
+/// Session-level summary: instance count, dispute phases, measured
+/// throughput, accumulated evidence.
+std::string format_session_summary(const session& s);
+
+/// The paper's rate quantities, formatted like the capacity planner output.
+std::string format_bounds(const capacity_bounds& b);
+
+/// Tab-separated values for offline analysis (one row per instance, header
+/// included) — plot-ready.
+std::string to_tsv(const std::vector<instance_report>& reports);
+
+}  // namespace nab::core

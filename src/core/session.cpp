@@ -1,0 +1,275 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "bb/broadcast.hpp"
+#include "core/certify.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/tree_packing.hpp"
+#include "sim/network.hpp"
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::core {
+
+session::session(session_config cfg, const sim::fault_set& faults, nab_adversary* adv)
+    : cfg_(std::move(cfg)), faults_(faults), adv_(adv), gk_(cfg_.g) {
+  const int n = cfg_.g.universe();
+  if (n < 3 * cfg_.f + 1)
+    throw error("session: n >= 3f+1 required (n=" + std::to_string(n) +
+                ", f=" + std::to_string(cfg_.f) + ")");
+  if (cfg_.f > 0 && graph::global_vertex_connectivity(cfg_.g) < 2 * cfg_.f + 1)
+    throw error("session: network connectivity must be at least 2f+1");
+  NAB_ASSERT(cfg_.g.is_active(cfg_.source), "source must exist in G");
+  NAB_ASSERT(faults_.universe() == n, "fault set universe mismatch");
+  NAB_ASSERT(faults_.count() <= cfg_.f, "more corrupt nodes than the budget f");
+}
+
+void session::refresh_graph_state() {
+  if (!dirty_) return;
+  per_source_.clear();
+  uk_ = compute_uk(gk_, cfg_.f, record_);
+  rho_ = compute_rho(uk_);
+
+  // Generate (and, if asked, certify) the shared coding matrices. Theorem 1
+  // makes failure vanishingly unlikely; regeneration with a fresh seed is
+  // the correct response when it does happen. When the rank checks would be
+  // prohibitively large (rho_k scales with link capacities) we trust the
+  // theorem instead of certifying.
+  bool certify = cfg_.certify;
+  if (certify) {
+    const auto omega = omega_subgraphs(gk_, cfg_.f, record_);
+    std::uint64_t cost = 0;
+    for (const auto& h : omega) {
+      if (h.size() <= 1) continue;
+      const std::uint64_t rows = (h.size() - 1) * static_cast<std::uint64_t>(rho_);
+      std::uint64_t cols = 0;
+      for (const graph::edge& e : gk_.induced(h).edges())
+        cols += static_cast<std::uint64_t>(e.cap);
+      cost += rows * rows * cols;
+    }
+    if (cost > cfg_.certify_cost_limit) certify = false;
+  }
+  for (int attempt = 0;; ++attempt) {
+    coding_ = coding_scheme::generate(gk_, static_cast<int>(rho_),
+                                      cfg_.coding_seed + coding_generation_);
+    ++coding_generation_;
+    if (!certify) break;
+    if (certify_coding(gk_, cfg_.f, record_, coding_).ok) break;
+    if (attempt >= 8)
+      throw error("session: failed to certify coding matrices after 8 seeds — "
+                  "U_k is likely too small for rho_k (see DESIGN.md §8)");
+  }
+  dirty_ = false;
+}
+
+session::source_state& session::source_state_for(graph::node_id source) {
+  refresh_graph_state();
+  auto it = per_source_.find(source);
+  if (it != per_source_.end()) return it->second;
+  source_state st;
+  st.gamma = graph::broadcast_mincut(gk_, source);
+  NAB_ASSERT(st.gamma >= 1, "instance graph lost connectivity from the source");
+  st.trees = graph::pack_arborescences(gk_, source, static_cast<int>(st.gamma));
+  return per_source_.emplace(source, std::move(st)).first->second;
+}
+
+bb::channel_plan& session::ensure_channels() {
+  // The classical-BB sub-protocols (step 2.2 flags, Phase-3 claims) are
+  // capacity-oblivious overhead: they run over the ORIGINAL network G, whose
+  // connectivity >= 2f+1 guarantees the complete-graph emulation — G_k may
+  // lose that property as disputed edges are dropped. Instance data phases
+  // (1 and 2.1) remain restricted to G_k.
+  if (!channels_) channels_.emplace(cfg_.g, cfg_.f);
+  return *channels_;
+}
+
+graph::capacity_t session::next_gamma() { return source_state_for(cfg_.source).gamma; }
+
+graph::capacity_t session::next_rho() {
+  refresh_graph_state();
+  return rho_;
+}
+
+instance_report session::run_instance(const std::vector<word>& input,
+                                      graph::node_id source_override) {
+  const graph::node_id source = source_override >= 0 ? source_override : cfg_.source;
+  NAB_ASSERT(source >= 0 && source < cfg_.g.universe(), "source out of range");
+
+  instance_report report;
+  report.index = stats_.instances;
+  report.outputs.assign(static_cast<std::size_t>(gk_.universe()), {});
+
+  // Special case 1: the source has been convicted — everyone already knows,
+  // and agrees on the default (all-zero) value without communicating.
+  if (!gk_.is_active(source)) {
+    report.default_outcome = true;
+    report.active_nodes = gk_.active_count();
+    for (graph::node_id v : gk_.active_nodes())
+      report.outputs[static_cast<std::size_t>(v)] =
+          std::vector<word>(input.size(), 0);
+    report.validity = true;  // source is faulty; validity is vacuous
+    ++stats_.instances;
+    stats_.bits_broadcast += 16 * input.size();
+    return report;
+  }
+
+  const source_state& st = source_state_for(source);
+  report.active_nodes = gk_.active_count();
+  report.gamma = st.gamma;
+  report.uk = uk_;
+  report.rho = rho_;
+
+  if (adv_ != nullptr) adv_->on_instance_begin(report.index, gk_);
+
+  // The physical network is always G: G_k only restricts which links the
+  // protocol *uses* in Phases 1/2.1.
+  sim::network net(cfg_.g);
+
+  // ---- Phase 1: unreliable broadcast over the arborescence packing. ----
+  const phase1_result p1 = run_phase1(net, gk_, faults_, source, input, st.trees,
+                                      adv_, cfg_.propagation);
+  report.time_phase1 = p1.time;
+
+  // Special case 2: with >= f nodes excluded, every remaining node is
+  // fault-free and Phase 1 alone is reliable (Section 2).
+  const int excluded = gk_.universe() - gk_.active_count();
+  if (excluded >= cfg_.f) {
+    report.phase1_only = true;
+    for (graph::node_id v : gk_.active_nodes())
+      report.outputs[static_cast<std::size_t>(v)] =
+          p1.received[static_cast<std::size_t>(v)];
+  } else {
+    // ---- Phase 2, step 2.1: Equality Check with parameter rho_k. ----
+    std::vector<value_vector> values(static_cast<std::size_t>(gk_.universe()));
+    for (graph::node_id v : gk_.active_nodes())
+      values[static_cast<std::size_t>(v)] = value_vector::reshape(
+          p1.received[static_cast<std::size_t>(v)], static_cast<int>(rho_));
+    const equality_check_result ec =
+        run_equality_check(net, gk_, faults_, coding_, values, adv_);
+    report.time_equality_check = ec.time;
+
+    // ---- Phase 2, step 2.2: classical BB of the 1-bit flags. ----
+    std::vector<bool> flag_inputs(static_cast<std::size_t>(gk_.universe()), false);
+    for (graph::node_id v : gk_.active_nodes()) {
+      bool flag = ec.flags[static_cast<std::size_t>(v)];
+      if (faults_.is_corrupt(v) && adv_ != nullptr)
+        flag = adv_->phase2_flag(v, flag);
+      flag_inputs[static_cast<std::size_t>(v)] = flag;
+    }
+    bb::bb_protocol engine = cfg_.flag_protocol;
+    if (engine == bb::bb_protocol::auto_select) {
+      const auto participants = ensure_channels().topology().active_nodes().size();
+      engine = participants > static_cast<std::size_t>(4 * cfg_.f)
+                   ? bb::bb_protocol::phase_king
+                   : bb::bb_protocol::eig;
+    }
+    const bb::flags_outcome flags =
+        engine == bb::bb_protocol::phase_king
+            ? bb::broadcast_flags_phase_king(ensure_channels(), net, faults_,
+                                             flag_inputs, cfg_.f, gk_.active_nodes(),
+                                             nullptr,
+                                             adv_ != nullptr ? adv_->relay() : nullptr)
+            : bb::broadcast_flags(ensure_channels(), net, faults_, flag_inputs, cfg_.f,
+                                  gk_.active_nodes(),
+                                  adv_ != nullptr ? adv_->eig() : nullptr,
+                                  adv_ != nullptr ? adv_->relay() : nullptr);
+    report.time_flags = flags.time;
+
+    // All honest nodes hold identical agreed flags; read them off one.
+    graph::node_id reader = -1;
+    for (graph::node_id v : gk_.active_nodes())
+      if (faults_.is_honest(v)) {
+        reader = v;
+        break;
+      }
+    NAB_ASSERT(reader >= 0, "no honest node in G_k");
+    std::vector<bool> agreed_flags(static_cast<std::size_t>(gk_.universe()), false);
+    bool any_mismatch = false;
+    for (graph::node_id v : gk_.active_nodes()) {
+      agreed_flags[static_cast<std::size_t>(v)] =
+          flags.agreed[static_cast<std::size_t>(v)][static_cast<std::size_t>(reader)];
+      any_mismatch = any_mismatch || agreed_flags[static_cast<std::size_t>(v)];
+    }
+    report.mismatch_announced = any_mismatch;
+
+    if (!any_mismatch) {
+      // Clean instance: everyone keeps the Phase-1 value.
+      for (graph::node_id v : gk_.active_nodes())
+        report.outputs[static_cast<std::size_t>(v)] =
+            p1.received[static_cast<std::size_t>(v)];
+    } else {
+      // ---- Phase 3: dispute control. ----
+      report.dispute_phase_run = true;
+      ++stats_.dispute_phases;
+
+      instance_context ctx;
+      ctx.source = source;
+      ctx.input = input;
+      ctx.rho = static_cast<int>(rho_);
+      ctx.trees = st.trees;
+      ctx.coding = &coding_;
+      ctx.truth.assign(static_cast<std::size_t>(gk_.universe()), node_claims{});
+      for (graph::node_id v : gk_.active_nodes()) {
+        node_claims merged = p1.truth[static_cast<std::size_t>(v)];
+        merged.p2_sent = ec.truth[static_cast<std::size_t>(v)].p2_sent;
+        merged.p2_received = ec.truth[static_cast<std::size_t>(v)].p2_received;
+        ctx.truth[static_cast<std::size_t>(v)] = std::move(merged);
+      }
+      ctx.agreed_flags = agreed_flags;
+
+      const dispute_outcome dc = run_dispute_control(
+          net, ensure_channels(), gk_, faults_, cfg_.f, cfg_.f, ctx, record_, adv_);
+      report.time_phase3 = dc.time;
+      report.new_disputes = dc.new_disputes;
+      report.newly_convicted = dc.newly_convicted;
+
+      for (graph::node_id v : gk_.active_nodes())
+        report.outputs[static_cast<std::size_t>(v)] = dc.agreed_value;
+
+      // Compute G_{k+1}: drop convicted nodes and disputed edges.
+      for (graph::node_id v : record_.convicted()) gk_.remove_node(v);
+      for (const auto& [a, b] : record_.pairs()) gk_.remove_edge_pair(a, b);
+      dirty_ = true;
+    }
+  }
+
+  // Ground-truth evaluation of the BB properties for this instance.
+  const std::vector<word>* agreed = nullptr;
+  for (graph::node_id v : gk_.active_nodes()) {
+    if (faults_.is_corrupt(v)) continue;
+    const auto& out = report.outputs[static_cast<std::size_t>(v)];
+    if (agreed == nullptr) {
+      agreed = &out;
+    } else if (out != *agreed) {
+      report.agreement = false;
+    }
+  }
+  if (faults_.is_honest(source) && agreed != nullptr && *agreed != input)
+    report.validity = false;
+
+  stats_.elapsed += net.elapsed();
+  stats_.bits_broadcast += 16 * input.size();
+  ++stats_.instances;
+  return report;
+}
+
+std::vector<instance_report> session::run_many(int q, std::size_t words_per_input,
+                                               rng& rand, bool rotate_sources) {
+  std::vector<instance_report> out;
+  out.reserve(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    std::vector<word> input(words_per_input);
+    for (auto& w : input) w = static_cast<word>(rand.below(65536));
+    graph::node_id source = -1;
+    if (rotate_sources) {
+      const auto active = gk_.active_nodes();
+      source = active[static_cast<std::size_t>(i) % active.size()];
+    }
+    out.push_back(run_instance(input, source));
+  }
+  return out;
+}
+
+}  // namespace nab::core

@@ -1,0 +1,184 @@
+#include "core/strategies.hpp"
+
+namespace nab::core {
+namespace {
+
+chunk flipped(const chunk& honest) {
+  chunk out = honest;
+  for (word& w : out) w = static_cast<word>(~w);
+  if (out.empty()) out.push_back(0xFFFF);
+  return out;
+}
+
+}  // namespace
+
+chunk phase1_corruptor::phase1_forward_chunk(int, graph::node_id, graph::node_id to,
+                                             const chunk& honest) {
+  if (only_to_ >= 0 && to != only_to_) return honest;
+  return flipped(honest);
+}
+
+chunk phase1_corruptor::phase1_source_chunk(int, graph::node_id to, const chunk& honest) {
+  if (only_to_ >= 0 && to != only_to_) return honest;
+  return flipped(honest);
+}
+
+chunk equivocating_source::phase1_source_chunk(int, graph::node_id to,
+                                               const chunk& honest) {
+  return minority_.count(to) > 0 ? flipped(honest) : honest;
+}
+
+coded_symbols phase2_liar::phase2_coded(graph::node_id, graph::node_id,
+                                        const coded_symbols& honest) {
+  coded_symbols out = honest;
+  for (word& w : out.words) w = static_cast<word>(rand_.below(65536));
+  return out;
+}
+
+node_claims claim_forger::phase3_claims(graph::node_id, const node_claims& honest) {
+  node_claims out = honest;
+  // Deny the true content of everything received from the victim.
+  for (auto& [key, c] : out.p1_received)
+    if (std::get<1>(key) == victim_)
+      for (word& w : c) w = static_cast<word>(w ^ 0xA5A5);
+  for (auto& [key, c] : out.p2_received)
+    if (key.first == victim_)
+      for (word& w : c.words) w = static_cast<word>(w ^ 0xA5A5);
+  return out;
+}
+
+chunk dispute_farmer::phase1_forward_chunk(int, graph::node_id, graph::node_id,
+                                           const chunk& honest) {
+  return flipped(honest);
+}
+
+void stealth_disputer::on_instance_begin(int, const graph::digraph& gk) {
+  gk_ = &gk;
+  victim_.clear();
+  honest_sent_.clear();
+}
+
+coded_symbols stealth_disputer::phase2_coded(graph::node_id u, graph::node_id v,
+                                             const coded_symbols& honest) {
+  // Pick (and stick to) one fresh victim edge for this node this instance.
+  if (victim_.find(u) == victim_.end()) {
+    victim_[u] = -1;
+    if (gk_ != nullptr) {
+      for (graph::node_id w : gk_->out_neighbors(u)) {
+        if (burned_.count({std::min(u, w), std::max(u, w)}) == 0) {
+          victim_[u] = w;
+          break;
+        }
+      }
+    }
+  }
+  if (victim_[u] != v) return honest;
+  burned_.insert({std::min(u, v), std::max(u, v)});
+  honest_sent_[{u, v}] = honest;
+  coded_symbols lie = honest;
+  for (word& w : lie.words) w = static_cast<word>(w ^ 0x0F0F);
+  return lie;
+}
+
+node_claims stealth_disputer::phase3_claims(graph::node_id, const node_claims& honest) {
+  node_claims out = honest;
+  // Claim the prescribed (correct) symbols were sent on the lied-on edge, so
+  // DC3's replay finds this node self-consistent and only a dispute with the
+  // victim remains.
+  for (auto& [key, c] : out.p2_sent) {
+    const auto it = honest_sent_.find(key);
+    if (it != honest_sent_.end()) c = it->second;
+  }
+  return out;
+}
+
+void composite_adversary::assign(graph::node_id node, nab_adversary* delegate) {
+  delegates_[node] = delegate;
+}
+
+void composite_adversary::on_instance_begin(int instance_index,
+                                            const graph::digraph& gk) {
+  for (auto& [node, d] : delegates_)
+    if (d != nullptr) d->on_instance_begin(instance_index, gk);
+}
+
+chunk composite_adversary::phase1_source_chunk(int tree, graph::node_id to,
+                                               const chunk& honest) {
+  const auto it = delegates_.find(source_);
+  return it == delegates_.end() || it->second == nullptr
+             ? honest
+             : it->second->phase1_source_chunk(tree, to, honest);
+}
+
+chunk composite_adversary::phase1_forward_chunk(int tree, graph::node_id from,
+                                                graph::node_id to, const chunk& honest) {
+  const auto it = delegates_.find(from);
+  return it == delegates_.end() || it->second == nullptr
+             ? honest
+             : it->second->phase1_forward_chunk(tree, from, to, honest);
+}
+
+coded_symbols composite_adversary::phase2_coded(graph::node_id u, graph::node_id v,
+                                                const coded_symbols& honest) {
+  const auto it = delegates_.find(u);
+  return it == delegates_.end() || it->second == nullptr
+             ? honest
+             : it->second->phase2_coded(u, v, honest);
+}
+
+bool composite_adversary::phase2_flag(graph::node_id v, bool honest) {
+  const auto it = delegates_.find(v);
+  return it == delegates_.end() || it->second == nullptr
+             ? honest
+             : it->second->phase2_flag(v, honest);
+}
+
+node_claims composite_adversary::phase3_claims(graph::node_id v,
+                                               const node_claims& honest) {
+  const auto it = delegates_.find(v);
+  return it == delegates_.end() || it->second == nullptr
+             ? honest
+             : it->second->phase3_claims(v, honest);
+}
+
+chunk chaos_adversary::phase1_source_chunk(int, graph::node_id, const chunk& honest) {
+  if (!rand_.chance(p_)) return honest;
+  chunk out = honest;
+  for (word& w : out) w = static_cast<word>(rand_.below(65536));
+  return out;
+}
+
+chunk chaos_adversary::phase1_forward_chunk(int, graph::node_id, graph::node_id,
+                                            const chunk& honest) {
+  if (!rand_.chance(p_)) return honest;
+  chunk out = honest;
+  if (!out.empty()) out[rand_.below(out.size())] ^= static_cast<word>(1 + rand_.below(65535));
+  return out;
+}
+
+coded_symbols chaos_adversary::phase2_coded(graph::node_id, graph::node_id,
+                                            const coded_symbols& honest) {
+  if (!rand_.chance(p_)) return honest;
+  coded_symbols out = honest;
+  for (word& w : out.words)
+    if (rand_.chance(0.5)) w = static_cast<word>(rand_.below(65536));
+  return out;
+}
+
+bool chaos_adversary::phase2_flag(graph::node_id, bool honest) {
+  return rand_.chance(p_) ? !honest : honest;
+}
+
+node_claims chaos_adversary::phase3_claims(graph::node_id, const node_claims& honest) {
+  if (!rand_.chance(p_)) return honest;
+  node_claims out = honest;
+  for (auto& [key, c] : out.p1_received)
+    if (rand_.chance(0.3))
+      for (word& w : c) w = static_cast<word>(rand_.below(65536));
+  for (auto& [key, c] : out.p2_sent)
+    if (rand_.chance(0.3))
+      for (word& w : c.words) w = static_cast<word>(rand_.below(65536));
+  return out;
+}
+
+}  // namespace nab::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nab::gf {
+
+/// The finite field GF(2^8) with the Rijndael-compatible primitive polynomial
+/// x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator alpha = 2.
+///
+/// Multiplication and inversion go through 256-entry log/antilog tables built
+/// on first use. Addition is XOR. The class is stateless: all members are
+/// static, so `gf256` is used purely as a *field tag* for the generic linear
+/// algebra in matrix.hpp.
+class gf256 {
+ public:
+  using value_type = std::uint8_t;
+
+  /// Number of bits per field element.
+  static constexpr unsigned bits = 8;
+  /// Field order (number of elements).
+  static constexpr std::uint64_t order = 256;
+
+  static constexpr value_type zero() { return 0; }
+  static constexpr value_type one() { return 1; }
+
+  /// Characteristic-2 addition (== subtraction).
+  static constexpr value_type add(value_type a, value_type b) {
+    return static_cast<value_type>(a ^ b);
+  }
+  static constexpr value_type sub(value_type a, value_type b) { return add(a, b); }
+  static constexpr value_type neg(value_type a) { return a; }
+
+  /// Field multiplication via log tables.
+  static value_type mul(value_type a, value_type b);
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  static value_type inv(value_type a);
+
+  /// a / b. Precondition: b != 0.
+  static value_type div(value_type a, value_type b);
+
+  /// a^e with e reduced mod (order-1) for nonzero a.
+  static value_type pow(value_type a, std::uint64_t e);
+};
+
+}  // namespace nab::gf

@@ -1,0 +1,64 @@
+#include "gf/gf2_16.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nab::gf {
+namespace {
+
+struct tables {
+  std::vector<std::uint16_t> log;
+  std::vector<std::uint16_t> exp;  // doubled so mul can skip a modulo
+
+  tables() : log(65536), exp(131072) {
+    constexpr unsigned poly = 0x1100B;
+    unsigned x = 1;
+    for (unsigned i = 0; i < 65535; ++i) {
+      exp[i] = static_cast<std::uint16_t>(x);
+      exp[i + 65535] = static_cast<std::uint16_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= poly;
+    }
+    NAB_ASSERT(x == 1, "0x1100B must be primitive over GF(2^16)");
+    exp[131070] = exp[65535];
+    exp[131071] = exp[65536];
+  }
+};
+
+const tables& t() {
+  static const tables instance;
+  return instance;
+}
+
+}  // namespace
+
+gf2_16::value_type gf2_16::mul(value_type a, value_type b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& tab = t();
+  return tab.exp[static_cast<unsigned>(tab.log[a]) + tab.log[b]];
+}
+
+gf2_16::value_type gf2_16::inv(value_type a) {
+  NAB_ASSERT(a != 0, "gf2_16::inv of zero");
+  const auto& tab = t();
+  return tab.exp[65535 - tab.log[a]];
+}
+
+gf2_16::value_type gf2_16::div(value_type a, value_type b) {
+  NAB_ASSERT(b != 0, "gf2_16::div by zero");
+  if (a == 0) return 0;
+  const auto& tab = t();
+  return tab.exp[static_cast<unsigned>(tab.log[a]) + 65535 - tab.log[b]];
+}
+
+gf2_16::value_type gf2_16::pow(value_type a, std::uint64_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& tab = t();
+  const auto le = (static_cast<std::uint64_t>(tab.log[a]) * (e % 65535)) % 65535;
+  return tab.exp[le];
+}
+
+}  // namespace nab::gf

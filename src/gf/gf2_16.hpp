@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nab::gf {
+
+/// The finite field GF(2^16) with primitive polynomial
+/// x^16 + x^12 + x^3 + x + 1 (0x1100B) and generator alpha = 2.
+///
+/// This is the default coefficient field for NAB's equality-check coding
+/// matrices: the paper draws coefficients from GF(2^{L/rho}); we draw them
+/// from GF(2^16) and apply them slice-wise to L/rho-bit symbols (the standard
+/// random-linear-network-coding realization — see DESIGN.md §2). Log/antilog
+/// tables (128 KiB + 64 KiB) are built on first use.
+class gf2_16 {
+ public:
+  using value_type = std::uint16_t;
+
+  static constexpr unsigned bits = 16;
+  static constexpr std::uint64_t order = 65536;
+
+  static constexpr value_type zero() { return 0; }
+  static constexpr value_type one() { return 1; }
+
+  static constexpr value_type add(value_type a, value_type b) {
+    return static_cast<value_type>(a ^ b);
+  }
+  static constexpr value_type sub(value_type a, value_type b) { return add(a, b); }
+  static constexpr value_type neg(value_type a) { return a; }
+
+  static value_type mul(value_type a, value_type b);
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  static value_type inv(value_type a);
+
+  /// a / b. Precondition: b != 0.
+  static value_type div(value_type a, value_type b);
+
+  static value_type pow(value_type a, std::uint64_t e);
+};
+
+}  // namespace nab::gf

@@ -1,0 +1,104 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/maxflow.hpp"
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::graph {
+namespace {
+
+/// Builds the node-split graph: node v becomes v_in = 2v, v_out = 2v+1 with
+/// an internal arc of capacity 1 (except s, t which get "infinite" internal
+/// capacity); each original edge u->v becomes u_out -> v_in with capacity 1.
+/// Max-flow s_out -> t_in then counts internally node-disjoint paths.
+digraph split_graph(const digraph& g, node_id s, node_id t) {
+  const int n = g.universe();
+  digraph sp(2 * n);
+  const capacity_t inf = n + 1;
+  for (node_id v = 0; v < n; ++v) {
+    if (!g.is_active(v)) {
+      sp.remove_node(2 * v);
+      sp.remove_node(2 * v + 1);
+      continue;
+    }
+    sp.add_edge(2 * v, 2 * v + 1, (v == s || v == t) ? inf : 1);
+  }
+  for (const edge& e : g.edges()) sp.add_edge(2 * e.from + 1, 2 * e.to, 1);
+  return sp;
+}
+
+}  // namespace
+
+int vertex_connectivity(const digraph& g, node_id s, node_id t) {
+  NAB_ASSERT(g.is_active(s) && g.is_active(t) && s != t,
+             "vertex_connectivity needs distinct active endpoints");
+  const digraph sp = split_graph(g, s, t);
+  return static_cast<int>(min_cut_value(sp, 2 * s + 1, 2 * t));
+}
+
+int global_vertex_connectivity(const digraph& g) {
+  const std::vector<node_id> nodes = g.active_nodes();
+  NAB_ASSERT(nodes.size() >= 2, "global_vertex_connectivity needs >= 2 nodes");
+  int best = std::numeric_limits<int>::max();
+  for (node_id s : nodes)
+    for (node_id t : nodes) {
+      if (s == t) continue;
+      best = std::min(best, vertex_connectivity(g, s, t));
+    }
+  return best;
+}
+
+std::vector<std::vector<node_id>> node_disjoint_paths(const digraph& g, node_id s,
+                                                      node_id t, int k) {
+  NAB_ASSERT(k > 0, "node_disjoint_paths requires k > 0");
+  const int n = g.universe();
+  const digraph sp = split_graph(g, s, t);
+  const flow_result fr = max_flow(sp, 2 * s + 1, 2 * t);
+  if (fr.value < k)
+    throw error("node_disjoint_paths: only " + std::to_string(fr.value) +
+                " disjoint paths exist, need " + std::to_string(k));
+
+  // Decompose the unit flow into paths by walking flow-carrying arcs.
+  // remaining[u][v] over the split graph.
+  std::vector<capacity_t> remaining = fr.flow;
+  const int sn = 2 * n;
+  auto rem = [&](int u, int v) -> capacity_t& {
+    return remaining[static_cast<std::size_t>(u) * sn + v];
+  };
+
+  std::vector<std::vector<node_id>> paths;
+  for (int p = 0; p < k; ++p) {
+    std::vector<node_id> path{s};
+    int cur = 2 * s + 1;  // s_out
+    const int goal = 2 * t;
+    int guard = 0;
+    while (cur != goal) {
+      NAB_ASSERT(++guard <= 4 * n + 4, "flow decomposition failed to terminate");
+      int next = -1;
+      for (int v = 0; v < sn; ++v) {
+        if (rem(cur, v) > 0) {
+          next = v;
+          break;
+        }
+      }
+      NAB_ASSERT(next >= 0, "flow decomposition: dead end");
+      rem(cur, next) -= 1;
+      // Arrived at some v_in: record original node, hop to v_out.
+      if (next % 2 == 0) {
+        const node_id orig = next / 2;
+        path.push_back(orig);
+        if (next == goal) break;
+        cur = next;  // v_in; the internal arc v_in -> v_out carries the flow
+      } else {
+        cur = next;
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace nab::graph

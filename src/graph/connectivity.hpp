@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Number of internally node-disjoint directed paths from s to t in the
+/// active subgraph (Menger). Adjacent pairs get universe()-sized "infinity"
+/// short-circuited: if edge s->t exists it counts as one path plus the
+/// node-disjoint paths avoiding it.
+int vertex_connectivity(const digraph& g, node_id s, node_id t);
+
+/// Global (directed) vertex connectivity: min over ordered active pairs of
+/// vertex_connectivity. The paper's "network connectivity at least 2f+1"
+/// prerequisite is checked with this.
+int global_vertex_connectivity(const digraph& g);
+
+/// A set of `k` internally node-disjoint directed s->t paths, each a node
+/// sequence s, ..., t. Throws nab::error if fewer than k disjoint paths
+/// exist. Used by the complete-graph emulation (send along 2f+1 disjoint
+/// paths, take majority).
+std::vector<std::vector<node_id>> node_disjoint_paths(const digraph& g, node_id s,
+                                                      node_id t, int k);
+
+}  // namespace nab::graph

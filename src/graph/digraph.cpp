@@ -1,0 +1,168 @@
+#include "graph/digraph.hpp"
+
+#include "util/assert.hpp"
+
+namespace nab::graph {
+
+digraph::digraph(int n) : n_(n), active_(static_cast<std::size_t>(n), true), cap_(static_cast<std::size_t>(n) * n, 0) {
+  NAB_ASSERT(n >= 0, "digraph size must be non-negative");
+}
+
+bool digraph::is_active(node_id v) const {
+  return v >= 0 && v < n_ && active_[static_cast<std::size_t>(v)];
+}
+
+std::vector<node_id> digraph::active_nodes() const {
+  std::vector<node_id> out;
+  out.reserve(static_cast<std::size_t>(n_));
+  for (node_id v = 0; v < n_; ++v)
+    if (active_[static_cast<std::size_t>(v)]) out.push_back(v);
+  return out;
+}
+
+void digraph::add_edge(node_id u, node_id v, capacity_t cap) {
+  NAB_ASSERT(is_active(u) && is_active(v), "add_edge endpoints must be active");
+  NAB_ASSERT(u != v, "self-loops are not allowed");
+  NAB_ASSERT(cap > 0, "edge capacity must be positive");
+  cap_ref(u, v) += cap;
+}
+
+void digraph::add_bidirectional(node_id u, node_id v, capacity_t cap) {
+  add_edge(u, v, cap);
+  add_edge(v, u, cap);
+}
+
+void digraph::remove_edge(node_id u, node_id v) {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) return;
+  cap_ref(u, v) = 0;
+}
+
+void digraph::remove_edge_pair(node_id u, node_id v) {
+  remove_edge(u, v);
+  remove_edge(v, u);
+}
+
+void digraph::remove_node(node_id v) {
+  if (v < 0 || v >= n_) return;
+  active_[static_cast<std::size_t>(v)] = false;
+  for (node_id u = 0; u < n_; ++u) {
+    cap_ref(u, v) = 0;
+    cap_ref(v, u) = 0;
+  }
+}
+
+capacity_t digraph::cap(node_id u, node_id v) const {
+  if (!is_active(u) || !is_active(v)) return 0;
+  return cap_ref(u, v);
+}
+
+std::vector<edge> digraph::edges() const {
+  std::vector<edge> out;
+  for (node_id u = 0; u < n_; ++u)
+    for (node_id v = 0; v < n_; ++v)
+      if (cap(u, v) > 0) out.push_back({u, v, cap(u, v)});
+  return out;
+}
+
+capacity_t digraph::total_capacity() const {
+  capacity_t sum = 0;
+  for (const auto& e : edges()) sum += e.cap;
+  return sum;
+}
+
+std::vector<node_id> digraph::out_neighbors(node_id v) const {
+  std::vector<node_id> out;
+  for (node_id u = 0; u < n_; ++u)
+    if (cap(v, u) > 0) out.push_back(u);
+  return out;
+}
+
+std::vector<node_id> digraph::in_neighbors(node_id v) const {
+  std::vector<node_id> out;
+  for (node_id u = 0; u < n_; ++u)
+    if (cap(u, v) > 0) out.push_back(u);
+  return out;
+}
+
+digraph digraph::induced(const std::vector<node_id>& keep) const {
+  digraph out = *this;
+  std::vector<bool> in_keep(static_cast<std::size_t>(n_), false);
+  for (node_id v : keep) {
+    NAB_ASSERT(v >= 0 && v < n_, "induced: node out of universe");
+    in_keep[static_cast<std::size_t>(v)] = true;
+  }
+  for (node_id v = 0; v < n_; ++v)
+    if (!in_keep[static_cast<std::size_t>(v)]) out.remove_node(v);
+  return out;
+}
+
+ugraph::ugraph(int n) : n_(n), active_(static_cast<std::size_t>(n), true), w_(static_cast<std::size_t>(n) * n, 0) {
+  NAB_ASSERT(n >= 0, "ugraph size must be non-negative");
+}
+
+bool ugraph::is_active(node_id v) const {
+  return v >= 0 && v < n_ && active_[static_cast<std::size_t>(v)];
+}
+
+std::vector<node_id> ugraph::active_nodes() const {
+  std::vector<node_id> out;
+  for (node_id v = 0; v < n_; ++v)
+    if (active_[static_cast<std::size_t>(v)]) out.push_back(v);
+  return out;
+}
+
+void ugraph::add_weight(node_id u, node_id v, capacity_t w) {
+  NAB_ASSERT(is_active(u) && is_active(v), "add_weight endpoints must be active");
+  NAB_ASSERT(u != v, "self-loops are not allowed");
+  NAB_ASSERT(w > 0, "edge weight must be positive");
+  w_ref(u, v) += w;
+  w_ref(v, u) += w;
+}
+
+void ugraph::remove_node(node_id v) {
+  if (v < 0 || v >= n_) return;
+  active_[static_cast<std::size_t>(v)] = false;
+  for (node_id u = 0; u < n_; ++u) {
+    w_ref(u, v) = 0;
+    w_ref(v, u) = 0;
+  }
+}
+
+capacity_t ugraph::weight(node_id u, node_id v) const {
+  if (!is_active(u) || !is_active(v)) return 0;
+  return w_ref(u, v);
+}
+
+std::vector<edge> ugraph::edges() const {
+  std::vector<edge> out;
+  for (node_id u = 0; u < n_; ++u)
+    for (node_id v = u + 1; v < n_; ++v)
+      if (weight(u, v) > 0) out.push_back({u, v, weight(u, v)});
+  return out;
+}
+
+ugraph ugraph::induced(const std::vector<node_id>& keep) const {
+  ugraph out = *this;
+  std::vector<bool> in_keep(static_cast<std::size_t>(n_), false);
+  for (node_id v : keep) {
+    NAB_ASSERT(v >= 0 && v < n_, "induced: node out of universe");
+    in_keep[static_cast<std::size_t>(v)] = true;
+  }
+  for (node_id v = 0; v < n_; ++v)
+    if (!in_keep[static_cast<std::size_t>(v)]) out.remove_node(v);
+  return out;
+}
+
+ugraph to_undirected(const digraph& g) {
+  ugraph out(g.universe());
+  for (node_id v = 0; v < g.universe(); ++v)
+    if (!g.is_active(v)) out.remove_node(v);
+  for (node_id u = 0; u < g.universe(); ++u)
+    for (node_id v = u + 1; v < g.universe(); ++v) {
+      const capacity_t w = g.cap(u, v) + g.cap(v, u);
+      if (w > 0) out.add_weight(u, v, w);
+    }
+  return out;
+}
+
+}  // namespace nab::graph

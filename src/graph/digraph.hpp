@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nab::graph {
+
+/// Node identifier. Node 0 is the broadcast source by convention (the paper's
+/// node 1).
+using node_id = int;
+
+/// Link capacity in bits per unit time. The paper assumes positive integer
+/// capacities (rationals rescale, irrationals approximate).
+using capacity_t = std::int64_t;
+
+/// One directed capacitated link.
+struct edge {
+  node_id from = 0;
+  node_id to = 0;
+  capacity_t cap = 0;
+
+  bool operator==(const edge&) const = default;
+};
+
+/// Directed simple graph with integer link capacities over a fixed node
+/// universe [0, universe()).
+///
+/// Nodes can be *deactivated* (NAB's dispute control removes convicted nodes
+/// from G_k while every surviving node keeps its original id), and edges can
+/// be removed pairwise (disputed node pairs lose both directions). Capacities
+/// are stored densely — NAB networks are small (tens of nodes), and dense
+/// storage keeps min-cut / flow code simple and cache-friendly.
+class digraph {
+ public:
+  digraph() = default;
+
+  /// Creates a graph with `n` active nodes and no edges.
+  explicit digraph(int n);
+
+  /// Size of the id space (active + removed nodes).
+  int universe() const { return n_; }
+
+  /// Number of currently active nodes.
+  int active_count() const { return static_cast<int>(active_nodes().size()); }
+
+  bool is_active(node_id v) const;
+
+  /// Sorted list of active node ids.
+  std::vector<node_id> active_nodes() const;
+
+  /// Adds (or widens) the directed edge u -> v. Self-loops are rejected.
+  /// Preconditions: u, v active, cap > 0.
+  void add_edge(node_id u, node_id v, capacity_t cap);
+
+  /// Adds u -> v and v -> u, each with capacity `cap`.
+  void add_bidirectional(node_id u, node_id v, capacity_t cap);
+
+  /// Removes the directed edge u -> v if present.
+  void remove_edge(node_id u, node_id v);
+
+  /// Removes both directed edges between u and v (how NAB erases a disputed
+  /// pair).
+  void remove_edge_pair(node_id u, node_id v);
+
+  /// Deactivates a node and removes all incident edges.
+  void remove_node(node_id v);
+
+  /// Capacity of u -> v, or 0 if absent / either endpoint inactive.
+  capacity_t cap(node_id u, node_id v) const;
+
+  bool has_edge(node_id u, node_id v) const { return cap(u, v) > 0; }
+
+  /// All active directed edges in deterministic (row-major) order.
+  std::vector<edge> edges() const;
+
+  /// Sum of all active edge capacities.
+  capacity_t total_capacity() const;
+
+  /// Out-neighbors of v (active endpoints only).
+  std::vector<node_id> out_neighbors(node_id v) const;
+
+  /// In-neighbors of v (active endpoints only).
+  std::vector<node_id> in_neighbors(node_id v) const;
+
+  /// Copy with only `keep` active (every other node removed). Ids preserved.
+  digraph induced(const std::vector<node_id>& keep) const;
+
+  bool operator==(const digraph&) const = default;
+
+ private:
+  int n_ = 0;
+  std::vector<bool> active_;
+  std::vector<capacity_t> cap_;  // row-major n_ x n_
+
+  capacity_t& cap_ref(node_id u, node_id v) { return cap_[static_cast<std::size_t>(u) * n_ + v]; }
+  const capacity_t& cap_ref(node_id u, node_id v) const {
+    return cap_[static_cast<std::size_t>(u) * n_ + v];
+  }
+};
+
+/// Undirected weighted graph on the same fixed-universe model.
+/// In the paper, the undirected version of H weights edge {i,j} with
+/// cap(i->j) + cap(j->i); `to_undirected` implements exactly that.
+class ugraph {
+ public:
+  ugraph() = default;
+  explicit ugraph(int n);
+
+  int universe() const { return n_; }
+  int active_count() const { return static_cast<int>(active_nodes().size()); }
+  bool is_active(node_id v) const;
+  std::vector<node_id> active_nodes() const;
+
+  /// Adds `w` to the weight of undirected edge {u, v}.
+  void add_weight(node_id u, node_id v, capacity_t w);
+
+  void remove_node(node_id v);
+
+  capacity_t weight(node_id u, node_id v) const;
+
+  /// Active undirected edges (u < v) in deterministic order.
+  std::vector<edge> edges() const;
+
+  ugraph induced(const std::vector<node_id>& keep) const;
+
+ private:
+  int n_ = 0;
+  std::vector<bool> active_;
+  std::vector<capacity_t> w_;  // symmetric row-major
+
+  capacity_t& w_ref(node_id u, node_id v) { return w_[static_cast<std::size_t>(u) * n_ + v]; }
+  const capacity_t& w_ref(node_id u, node_id v) const {
+    return w_[static_cast<std::size_t>(u) * n_ + v];
+  }
+};
+
+/// The paper's directed-to-undirected conversion (Section 3): weight of
+/// {i, j} is the sum of the two directed capacities.
+ugraph to_undirected(const digraph& g);
+
+}  // namespace nab::graph

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Graphviz DOT rendering of the active subgraph (edge labels = capacities).
+/// `highlight` nodes are drawn filled — used by examples to mark faulty or
+/// convicted nodes.
+std::string to_dot(const digraph& g, const std::vector<node_id>& highlight = {});
+
+/// DOT rendering of an undirected graph (edge labels = weights).
+std::string to_dot(const ugraph& g);
+
+}  // namespace nab::graph

@@ -1,0 +1,128 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nab::graph {
+
+digraph complete(int n, capacity_t cap) {
+  digraph g(n);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) g.add_bidirectional(u, v, cap);
+  return g;
+}
+
+digraph paper_fig1a() {
+  digraph g(4);
+  g.add_bidirectional(0, 1, 1);
+  g.add_bidirectional(0, 2, 1);
+  g.add_bidirectional(0, 3, 1);
+  g.add_bidirectional(1, 2, 1);
+  g.add_bidirectional(2, 3, 1);
+  return g;
+}
+
+digraph paper_fig1b() {
+  digraph g = paper_fig1a();
+  g.remove_edge_pair(1, 2);
+  return g;
+}
+
+digraph paper_fig2() {
+  digraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 3, 1);
+  return g;
+}
+
+digraph ring(int n, capacity_t cap) {
+  NAB_ASSERT(n >= 3, "ring needs at least 3 nodes");
+  digraph g(n);
+  for (node_id v = 0; v < n; ++v) g.add_bidirectional(v, (v + 1) % n, cap);
+  return g;
+}
+
+digraph erdos_renyi(int n, double p, capacity_t cap_lo, capacity_t cap_hi, rng& rand) {
+  NAB_ASSERT(n >= 2, "erdos_renyi needs at least 2 nodes");
+  NAB_ASSERT(cap_lo >= 1 && cap_lo <= cap_hi, "bad capacity range");
+  digraph g(n);
+  for (node_id v = 0; v < n; ++v) g.add_bidirectional(v, (v + 1) % n, cap_lo);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = 0; v < n; ++v) {
+      if (u == v || g.has_edge(u, v)) continue;
+      if (rand.chance(p)) g.add_edge(u, v, rand.between(cap_lo, cap_hi));
+    }
+  return g;
+}
+
+digraph random_regular(int n, int d, capacity_t cap_lo, capacity_t cap_hi, rng& rand) {
+  NAB_ASSERT(d >= 2 && d < n, "random_regular needs 2 <= d < n");
+  digraph g(n);
+  // Hamiltonian cycle gives everyone degree 2, then random sweeps add pairs
+  // between low-degree nodes until everyone reaches d (best effort).
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  auto connect = [&](node_id u, node_id v) {
+    g.add_bidirectional(u, v, rand.between(cap_lo, cap_hi));
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  };
+  for (node_id v = 0; v < n; ++v) connect(v, (v + 1) % n);
+  for (int sweep = 0; sweep < 8 * n * d; ++sweep) {
+    std::vector<node_id> low;
+    for (node_id v = 0; v < n; ++v)
+      if (degree[static_cast<std::size_t>(v)] < d) low.push_back(v);
+    if (low.size() < 2) break;
+    const node_id u = low[rand.below(low.size())];
+    const node_id v = low[rand.below(low.size())];
+    if (u == v || g.has_edge(u, v)) continue;
+    connect(u, v);
+  }
+  return g;
+}
+
+digraph dumbbell(int n, capacity_t fat, capacity_t thin) {
+  NAB_ASSERT(n >= 6 && n % 2 == 0, "dumbbell needs even n >= 6");
+  NAB_ASSERT(fat >= thin && thin >= 1, "dumbbell needs fat >= thin >= 1");
+  const int half = n / 2;
+  digraph g(n);
+  for (node_id u = 0; u < half; ++u)
+    for (node_id v = u + 1; v < half; ++v) g.add_bidirectional(u, v, fat);
+  for (node_id u = half; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) g.add_bidirectional(u, v, fat);
+  // Bridges: node i in the left cluster pairs with node half+i on the right,
+  // so the bridge count (= half) keeps connectivity high while each bridge
+  // stays thin.
+  for (int i = 0; i < half; ++i) g.add_bidirectional(i, half + i, thin);
+  return g;
+}
+
+digraph complete_with_weak_link(int n, capacity_t fat) {
+  NAB_ASSERT(n >= 4 && fat >= 1, "complete_with_weak_link needs n >= 4, fat >= 1");
+  digraph g(n);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) {
+      const bool weak = (u == n - 2 && v == n - 1);
+      g.add_bidirectional(u, v, weak ? 1 : fat);
+    }
+  return g;
+}
+
+digraph path_of_cliques(int hops, int cluster, capacity_t cap) {
+  NAB_ASSERT(hops >= 1 && cluster >= 1, "path_of_cliques needs positive sizes");
+  const int n = hops * cluster;
+  digraph g(n);
+  auto id = [&](int hop, int i) { return hop * cluster + i; };
+  for (int h = 0; h < hops; ++h)
+    for (int i = 0; i < cluster; ++i)
+      for (int j = i + 1; j < cluster; ++j) g.add_bidirectional(id(h, i), id(h, j), cap);
+  for (int h = 0; h + 1 < hops; ++h)
+    for (int i = 0; i < cluster; ++i)
+      for (int j = 0; j < cluster; ++j) g.add_bidirectional(id(h, i), id(h + 1, j), cap);
+  return g;
+}
+
+}  // namespace nab::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Gomory–Hu (cut-equivalent) tree of an undirected weighted graph, built
+/// with Gusfield's simplification (n-1 max-flows, no contraction).
+///
+/// After construction, `min_cut(u, v)` answers the undirected MINCUT between
+/// any active pair in O(V) — used to cross-check Stoer–Wagner and to report
+/// per-pair cut structure in the capacity planner example.
+class gomory_hu_tree {
+ public:
+  explicit gomory_hu_tree(const ugraph& g);
+
+  /// MINCUT between two active nodes (paper notation MINCUT(H, u, v)).
+  capacity_t min_cut(node_id u, node_id v) const;
+
+  /// Minimum over all active pairs — equals pairwise_min_cut(g).
+  capacity_t minimum_pair_cut() const;
+
+  /// Tree edges (parent relation) for inspection: {u, parent(u), weight}.
+  std::vector<edge> tree_edges() const;
+
+ private:
+  std::vector<node_id> nodes_;           // active nodes in order
+  std::vector<int> parent_;              // index into nodes_
+  std::vector<capacity_t> parent_cut_;   // cut value to parent
+  std::vector<int> index_of_;            // node id -> index in nodes_, -1 if inactive
+};
+
+}  // namespace nab::graph

@@ -1,0 +1,162 @@
+#include "graph/maxflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace nab::graph {
+namespace {
+
+/// Internal residual-graph representation for Dinic's algorithm.
+struct dinic {
+  struct arc {
+    int to;
+    capacity_t cap;     // residual capacity
+    std::size_t rev;    // index of the reverse arc in adj[to]
+    bool forward;       // true for original-direction arcs (flow extraction)
+    node_id orig_from;  // original endpoints for flow extraction
+    node_id orig_to;
+  };
+
+  explicit dinic(int n) : adj(static_cast<std::size_t>(n)), level(n), iter(n) {}
+
+  std::vector<std::vector<arc>> adj;
+  std::vector<int> level;
+  std::vector<std::size_t> iter;
+
+  void add_arc(node_id u, node_id v, capacity_t cap) {
+    adj[static_cast<std::size_t>(u)].push_back(
+        {v, cap, adj[static_cast<std::size_t>(v)].size(), true, u, v});
+    adj[static_cast<std::size_t>(v)].push_back(
+        {u, 0, adj[static_cast<std::size_t>(u)].size() - 1, false, u, v});
+  }
+
+  /// Adds an undirected edge: both arcs get full capacity and act as each
+  /// other's residual.
+  void add_undirected_arc(node_id u, node_id v, capacity_t cap) {
+    adj[static_cast<std::size_t>(u)].push_back(
+        {v, cap, adj[static_cast<std::size_t>(v)].size(), true, u, v});
+    adj[static_cast<std::size_t>(v)].push_back(
+        {u, cap, adj[static_cast<std::size_t>(u)].size() - 1, true, v, u});
+  }
+
+  bool bfs(int s, int t) {
+    std::fill(level.begin(), level.end(), -1);
+    std::queue<int> q;
+    level[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (const arc& a : adj[static_cast<std::size_t>(v)]) {
+        if (a.cap > 0 && level[static_cast<std::size_t>(a.to)] < 0) {
+          level[static_cast<std::size_t>(a.to)] = level[static_cast<std::size_t>(v)] + 1;
+          q.push(a.to);
+        }
+      }
+    }
+    return level[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  capacity_t dfs(int v, int t, capacity_t f) {
+    if (v == t) return f;
+    for (std::size_t& i = iter[static_cast<std::size_t>(v)];
+         i < adj[static_cast<std::size_t>(v)].size(); ++i) {
+      arc& a = adj[static_cast<std::size_t>(v)][i];
+      if (a.cap <= 0 || level[static_cast<std::size_t>(v)] + 1 != level[static_cast<std::size_t>(a.to)])
+        continue;
+      const capacity_t d = dfs(a.to, t, std::min(f, a.cap));
+      if (d > 0) {
+        a.cap -= d;
+        adj[static_cast<std::size_t>(a.to)][a.rev].cap += d;
+        return d;
+      }
+    }
+    return 0;
+  }
+
+  capacity_t run(int s, int t) {
+    capacity_t total = 0;
+    constexpr capacity_t inf = std::numeric_limits<capacity_t>::max();
+    while (bfs(s, t)) {
+      std::fill(iter.begin(), iter.end(), 0);
+      while (true) {
+        const capacity_t f = dfs(s, t, inf);
+        if (f == 0) break;
+        total += f;
+      }
+    }
+    return total;
+  }
+
+  std::vector<bool> residual_reachable(int s) const {
+    std::vector<bool> seen(adj.size(), false);
+    std::queue<int> q;
+    seen[static_cast<std::size_t>(s)] = true;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (const arc& a : adj[static_cast<std::size_t>(v)]) {
+        if (a.cap > 0 && !seen[static_cast<std::size_t>(a.to)]) {
+          seen[static_cast<std::size_t>(a.to)] = true;
+          q.push(a.to);
+        }
+      }
+    }
+    return seen;
+  }
+};
+
+}  // namespace
+
+flow_result max_flow(const digraph& g, node_id s, node_id t) {
+  NAB_ASSERT(g.is_active(s) && g.is_active(t), "max_flow endpoints must be active");
+  NAB_ASSERT(s != t, "max_flow requires distinct endpoints");
+  const int n = g.universe();
+  dinic d(n);
+  for (const edge& e : g.edges()) d.add_arc(e.from, e.to, e.cap);
+
+  flow_result out;
+  out.value = d.run(s, t);
+  out.flow.assign(static_cast<std::size_t>(n) * n, 0);
+  for (int u = 0; u < n; ++u) {
+    for (const auto& a : d.adj[static_cast<std::size_t>(u)]) {
+      if (!a.forward) continue;
+      const capacity_t pushed = g.cap(a.orig_from, a.orig_to) - a.cap;
+      if (pushed > 0) out.flow[static_cast<std::size_t>(a.orig_from) * n + a.orig_to] = pushed;
+    }
+  }
+  out.source_side = d.residual_reachable(s);
+  return out;
+}
+
+capacity_t min_cut_value(const digraph& g, node_id s, node_id t) {
+  NAB_ASSERT(g.is_active(s) && g.is_active(t), "min_cut endpoints must be active");
+  const int n = g.universe();
+  dinic d(n);
+  for (const edge& e : g.edges()) d.add_arc(e.from, e.to, e.cap);
+  return d.run(s, t);
+}
+
+capacity_t broadcast_mincut(const digraph& g, node_id source) {
+  NAB_ASSERT(g.is_active(source), "broadcast_mincut source must be active");
+  capacity_t best = std::numeric_limits<capacity_t>::max();
+  bool any = false;
+  for (node_id v : g.active_nodes()) {
+    if (v == source) continue;
+    best = std::min(best, min_cut_value(g, source, v));
+    any = true;
+  }
+  return any ? best : 0;
+}
+
+capacity_t min_cut_value_undirected(const ugraph& g, node_id s, node_id t) {
+  NAB_ASSERT(g.is_active(s) && g.is_active(t), "min_cut endpoints must be active");
+  dinic d(g.universe());
+  for (const edge& e : g.edges()) d.add_undirected_arc(e.from, e.to, e.cap);
+  return d.run(s, t);
+}
+
+}  // namespace nab::graph

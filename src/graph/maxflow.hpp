@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Result of a max-flow computation between two nodes.
+struct flow_result {
+  /// Max-flow value == min-cut value (Papadimitriou & Steiglitz, ch. 6.1 —
+  /// the duality the paper leans on for Phase-1 rates).
+  capacity_t value = 0;
+
+  /// flow[u * n + v] = net flow pushed on directed edge u -> v.
+  std::vector<capacity_t> flow;
+
+  /// source_side[v] = true iff v is reachable from s in the residual graph;
+  /// the edges from source_side to its complement form a minimum cut.
+  std::vector<bool> source_side;
+
+  capacity_t flow_on(node_id u, node_id v, int n) const {
+    return flow[static_cast<std::size_t>(u) * n + v];
+  }
+};
+
+/// Dinic's algorithm on the active subgraph of `g`.
+/// Preconditions: s != t, both active. O(V^2 E).
+flow_result max_flow(const digraph& g, node_id s, node_id t);
+
+/// MINCUT(g, s, t) of the paper: max-flow value from s to t.
+/// Returns 0 when t is unreachable from s.
+capacity_t min_cut_value(const digraph& g, node_id s, node_id t);
+
+/// The paper's gamma_k: min over active j != source of MINCUT(g, source, j)
+/// — the best achievable unreliable-broadcast rate from `source` (Appendix A).
+/// Returns 0 if some active node is unreachable.
+capacity_t broadcast_mincut(const digraph& g, node_id source);
+
+/// Max-flow on an undirected graph (each undirected edge may carry flow
+/// either way up to its weight). Used by Gomory–Hu and U_k computations.
+capacity_t min_cut_value_undirected(const ugraph& g, node_id s, node_id t);
+
+}  // namespace nab::graph

@@ -1,0 +1,68 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace nab::graph {
+
+global_cut global_min_cut(const ugraph& g) {
+  const std::vector<node_id> nodes = g.active_nodes();
+  const auto n = nodes.size();
+  NAB_ASSERT(n >= 2, "global_min_cut needs at least 2 active nodes");
+
+  // Dense weight matrix over compacted indices; merged[i] tracks which
+  // original nodes the contracted super-node i contains.
+  std::vector<std::vector<capacity_t>> w(n, std::vector<capacity_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) w[i][j] = g.weight(nodes[i], nodes[j]);
+  std::vector<std::vector<node_id>> merged(n);
+  for (std::size_t i = 0; i < n; ++i) merged[i] = {nodes[i]};
+
+  std::vector<bool> gone(n, false);
+  global_cut best;
+  best.value = std::numeric_limits<capacity_t>::max();
+
+  for (std::size_t phase = 0; phase + 1 < n; ++phase) {
+    // Maximum-adjacency ordering.
+    std::vector<capacity_t> conn(n, 0);
+    std::vector<bool> added(n, false);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step + phase < n; ++step) {
+      std::size_t pick = n;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (gone[v] || added[v]) continue;
+        if (pick == n || conn[v] > conn[pick]) pick = v;
+      }
+      added[pick] = true;
+      prev = last;
+      last = pick;
+      for (std::size_t v = 0; v < n; ++v)
+        if (!gone[v] && !added[v]) conn[v] += w[pick][v];
+    }
+    // Cut-of-the-phase: `last` against everything else.
+    if (conn[last] < best.value) {
+      best.value = conn[last];
+      best.side = merged[last];
+    }
+    // Contract last into prev.
+    gone[last] = true;
+    merged[prev].insert(merged[prev].end(), merged[last].begin(), merged[last].end());
+    for (std::size_t v = 0; v < n; ++v) {
+      if (gone[v] || v == prev) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] = w[prev][v];
+    }
+  }
+  std::sort(best.side.begin(), best.side.end());
+  return best;
+}
+
+capacity_t pairwise_min_cut(const ugraph& g) {
+  if (g.active_count() < 2) return 0;
+  return global_min_cut(g).value;
+}
+
+}  // namespace nab::graph

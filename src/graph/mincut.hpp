@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Result of a global minimum cut computation.
+struct global_cut {
+  capacity_t value = 0;
+  /// One side of the cut (original node ids).
+  std::vector<node_id> side;
+};
+
+/// Stoer–Wagner global minimum cut of the active subgraph of an undirected
+/// weighted graph. This equals min over all node pairs {i,j} of
+/// MINCUT(H, i, j) — exactly the inner minimum in the paper's U_k.
+/// Preconditions: at least 2 active nodes. O(V^3).
+global_cut global_min_cut(const ugraph& g);
+
+/// The paper's U_H for a single subgraph: min over all pairs of nodes of the
+/// undirected MINCUT — i.e. the Stoer–Wagner value. Returns 0 when the
+/// active subgraph is disconnected.
+capacity_t pairwise_min_cut(const ugraph& g);
+
+}  // namespace nab::graph

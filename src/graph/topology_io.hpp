@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace nab::graph {
+
+/// Parses a plain-text topology description into a digraph.
+///
+/// Format (one directive per line; '#' starts a comment):
+///   nodes <n>
+///   edge <u> <v> <capacity>      # directed link u -> v
+///   biedge <u> <v> <capacity>    # both directions
+///
+/// Throws nab::error on malformed input (unknown directive, ids out of
+/// range, non-positive capacity, missing `nodes` line).
+digraph parse_topology(std::istream& in);
+
+/// Convenience overload for in-memory text.
+digraph parse_topology_text(const std::string& text);
+
+/// Serializes the active subgraph in the same format (directed `edge`
+/// lines only — round-trips through parse_topology).
+std::string format_topology(const digraph& g);
+
+}  // namespace nab::graph

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/assert.hpp"
+
+namespace nab::sim {
+
+/// The set of Byzantine nodes. Fixed across NAB instances (the paper's
+/// replicated-server assumption: the compromised replicas do not change
+/// between executions).
+class fault_set {
+ public:
+  fault_set() = default;
+
+  /// No faults among n nodes.
+  explicit fault_set(int n) : corrupt_(static_cast<std::size_t>(n), false) {}
+
+  fault_set(int n, const std::vector<graph::node_id>& corrupt_nodes) : fault_set(n) {
+    for (graph::node_id v : corrupt_nodes) mark_corrupt(v);
+  }
+
+  int universe() const { return static_cast<int>(corrupt_.size()); }
+
+  void mark_corrupt(graph::node_id v) {
+    NAB_ASSERT(v >= 0 && v < universe(), "fault_set node out of range");
+    corrupt_[static_cast<std::size_t>(v)] = true;
+  }
+
+  bool is_corrupt(graph::node_id v) const {
+    NAB_ASSERT(v >= 0 && v < universe(), "fault_set node out of range");
+    return corrupt_[static_cast<std::size_t>(v)];
+  }
+
+  bool is_honest(graph::node_id v) const { return !is_corrupt(v); }
+
+  int count() const {
+    int c = 0;
+    for (bool b : corrupt_) c += b ? 1 : 0;
+    return c;
+  }
+
+  std::vector<graph::node_id> corrupt_nodes() const {
+    std::vector<graph::node_id> out;
+    for (graph::node_id v = 0; v < universe(); ++v)
+      if (corrupt_[static_cast<std::size_t>(v)]) out.push_back(v);
+    return out;
+  }
+
+  std::vector<graph::node_id> honest_nodes() const {
+    std::vector<graph::node_id> out;
+    for (graph::node_id v = 0; v < universe(); ++v)
+      if (!corrupt_[static_cast<std::size_t>(v)]) out.push_back(v);
+    return out;
+  }
+
+ private:
+  std::vector<bool> corrupt_;
+};
+
+}  // namespace nab::sim

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::sim {
+
+/// One point-to-point message in the synchronous network.
+///
+/// `payload` is protocol-defined opaque data; `bits` is the size charged
+/// against the link for time accounting (the paper's capacity constraint is
+/// about bits on the wire, which can be smaller than the in-memory
+/// representation). `tag` disambiguates concurrent logical streams within a
+/// step (e.g. which spanning tree or which coded edge a message belongs to).
+struct message {
+  graph::node_id from = -1;
+  graph::node_id to = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::uint64_t> payload;
+  std::uint64_t bits = 0;
+};
+
+}  // namespace nab::sim

@@ -1,0 +1,68 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::sim {
+
+network::network(graph::digraph topology)
+    : topo_(std::move(topology)),
+      step_bits_(static_cast<std::size_t>(topo_.universe()) * topo_.universe(), 0),
+      lifetime_bits_(step_bits_.size(), 0),
+      pending_(static_cast<std::size_t>(topo_.universe())),
+      inboxes_(static_cast<std::size_t>(topo_.universe())) {}
+
+void network::send(message m) {
+  if (!topo_.has_edge(m.from, m.to))
+    throw error("network::send on nonexistent link " + std::to_string(m.from) + "->" +
+                std::to_string(m.to));
+  step_bits_[link_index(m.from, m.to)] += m.bits;
+  if (trace_ != nullptr) trace_->record(steps_, m.from, m.to, m.tag, m.bits);
+  pending_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+}
+
+void network::charge(graph::node_id u, graph::node_id v, std::uint64_t bits) {
+  if (!topo_.has_edge(u, v))
+    throw error("network::charge on nonexistent link " + std::to_string(u) + "->" +
+                std::to_string(v));
+  step_bits_[link_index(u, v)] += bits;
+  if (trace_ != nullptr) trace_->record(steps_, u, v, 0, bits);
+}
+
+double network::end_step() {
+  double duration = 0.0;
+  for (const graph::edge& e : topo_.edges()) {
+    const std::uint64_t bits = step_bits_[link_index(e.from, e.to)];
+    if (bits == 0) continue;
+    duration = std::max(duration, static_cast<double>(bits) / static_cast<double>(e.cap));
+    lifetime_bits_[link_index(e.from, e.to)] += bits;
+    total_bits_ += bits;
+  }
+  std::fill(step_bits_.begin(), step_bits_.end(), 0);
+  for (std::size_t v = 0; v < pending_.size(); ++v) {
+    inboxes_[v] = std::move(pending_[v]);
+    pending_[v].clear();
+  }
+  elapsed_ += duration;
+  ++steps_;
+  return duration;
+}
+
+const std::vector<message>& network::inbox(graph::node_id v) const {
+  NAB_ASSERT(v >= 0 && v < universe(), "inbox node out of range");
+  return inboxes_[static_cast<std::size_t>(v)];
+}
+
+void network::clear_inboxes() {
+  for (auto& box : inboxes_) box.clear();
+}
+
+std::uint64_t network::link_bits(graph::node_id u, graph::node_id v) const {
+  NAB_ASSERT(u >= 0 && v >= 0 && u < universe() && v < universe(),
+             "link_bits node out of range");
+  return lifetime_bits_[link_index(u, v)];
+}
+
+}  // namespace nab::sim

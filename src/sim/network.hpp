@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+
+namespace nab::sim {
+
+/// Synchronous point-to-point network with the paper's deterministic
+/// capacity/time model.
+///
+/// Protocols proceed in *steps* (synchronous communication rounds). During a
+/// step, nodes queue messages with `send`; `end_step` then (a) charges every
+/// link with the bits queued on it, (b) computes the step duration
+///     tau = max over links e of bits(e) / z_e
+/// (a link of capacity z_e carries z_e * tau bits in tau time — Section 1's
+/// capacity model), (c) delivers all queued messages into per-node inboxes,
+/// and (d) advances the simulation clock by tau.
+///
+/// The network itself is oblivious to faults: a Byzantine node "sends" via
+/// the same API (protocol-level adversaries decide what). Messages sent on
+/// nonexistent links are rejected — the paper's model has no such channel.
+class network {
+ public:
+  explicit network(graph::digraph topology);
+
+  const graph::digraph& topology() const { return topo_; }
+  int universe() const { return topo_.universe(); }
+
+  /// Queues a message for delivery at the end of the current step.
+  /// Preconditions: the link from->to exists in the topology and bits > 0
+  /// unless the payload is empty (zero-bit control messages are allowed for
+  /// default-value semantics of missing messages).
+  void send(message m);
+
+  /// Ends the current step; returns its duration in time units.
+  double end_step();
+
+  /// Messages delivered to node v in the most recently completed step, in
+  /// send order.
+  const std::vector<message>& inbox(graph::node_id v) const;
+
+  /// Clears all inboxes (start of a fresh protocol phase).
+  void clear_inboxes();
+
+  /// Charges `bits` on the link u -> v without delivering data. Used to
+  /// account for protocol overheads whose content the simulation does not
+  /// model bit-for-bit (e.g. claim dumps in dispute control).
+  void charge(graph::node_id u, graph::node_id v, std::uint64_t bits);
+
+  /// Cumulative simulated time over all completed steps.
+  double elapsed() const { return elapsed_; }
+
+  /// Cumulative bits ever carried, over all links.
+  std::uint64_t total_bits() const { return total_bits_; }
+
+  /// Bits carried by link u->v over the whole run.
+  std::uint64_t link_bits(graph::node_id u, graph::node_id v) const;
+
+  /// Number of completed steps.
+  int steps() const { return steps_; }
+
+  /// Attaches a passive traffic observer (nullptr detaches). Not owned.
+  void attach_trace(trace* t) { trace_ = t; }
+
+ private:
+  graph::digraph topo_;
+  std::vector<std::uint64_t> step_bits_;        // per-link bits queued this step
+  std::vector<std::uint64_t> lifetime_bits_;    // per-link cumulative
+  std::vector<std::vector<message>> pending_;   // queued this step, per receiver
+  std::vector<std::vector<message>> inboxes_;   // delivered last step
+  double elapsed_ = 0.0;
+  std::uint64_t total_bits_ = 0;
+  int steps_ = 0;
+  trace* trace_ = nullptr;
+
+  std::size_t link_index(graph::node_id u, graph::node_id v) const {
+    return static_cast<std::size_t>(u) * topo_.universe() + v;
+  }
+};
+
+}  // namespace nab::sim

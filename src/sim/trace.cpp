@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace nab::sim {
+
+std::uint64_t trace::link_total(graph::node_id from, graph::node_id to) const {
+  std::uint64_t total = 0;
+  for (const trace_event& e : events_)
+    if (e.from == from && e.to == to) total += e.bits;
+  return total;
+}
+
+std::vector<trace_event> trace::step_events(int step) const {
+  std::vector<trace_event> out;
+  for (const trace_event& e : events_)
+    if (e.step == step) out.push_back(e);
+  return out;
+}
+
+bool trace::used(graph::node_id from, graph::node_id to) const {
+  for (const trace_event& e : events_)
+    if (e.from == from && e.to == to && e.bits > 0) return true;
+  return false;
+}
+
+std::string trace::dump() const {
+  std::ostringstream out;
+  for (const trace_event& e : events_)
+    out << "step " << e.step << ": " << e.from << "->" << e.to << " tag=" << e.tag
+        << " bits=" << e.bits << "\n";
+  return out.str();
+}
+
+}  // namespace nab::sim

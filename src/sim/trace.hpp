@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace nab::sim {
+
+/// One link-level transmission event recorded by a trace.
+struct trace_event {
+  int step = 0;                ///< synchronous step index when it was charged
+  graph::node_id from = -1;
+  graph::node_id to = -1;
+  std::uint64_t tag = 0;       ///< protocol tag (0 for bare charges)
+  std::uint64_t bits = 0;
+};
+
+/// Passive observer of a network's traffic, attachable via
+/// network::attach_trace. Useful for debugging protocols and for asserting
+/// communication patterns in tests ("Phase 1 only used tree edges",
+/// "no traffic crossed a disputed link").
+class trace {
+ public:
+  void record(int step, graph::node_id from, graph::node_id to, std::uint64_t tag,
+              std::uint64_t bits) {
+    events_.push_back({step, from, to, tag, bits});
+  }
+
+  const std::vector<trace_event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Total bits recorded on link (from, to).
+  std::uint64_t link_total(graph::node_id from, graph::node_id to) const;
+
+  /// Events within one step, in charge order.
+  std::vector<trace_event> step_events(int step) const;
+
+  /// True iff some event used the given link.
+  bool used(graph::node_id from, graph::node_id to) const;
+
+  /// Compact textual dump (one line per event) for logs.
+  std::string dump() const;
+
+ private:
+  std::vector<trace_event> events_;
+};
+
+}  // namespace nab::sim

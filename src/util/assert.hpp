@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nab::detail {
+
+/// Aborts with a diagnostic. Used by NAB_ASSERT; kept out-of-line-ish so the
+/// macro body stays tiny.
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "nabcast assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+
+}  // namespace nab::detail
+
+/// Precondition / invariant check that stays active in release builds.
+/// All checks guarded by this macro are cheap (O(1) or already-amortized);
+/// violating one indicates a bug in the caller, not a runtime condition, so
+/// aborting is the right response (per CppCoreGuidelines I.6/E.12).
+#define NAB_ASSERT(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) ::nab::detail::assert_fail(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

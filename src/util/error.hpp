@@ -1,0 +1,18 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nab {
+
+/// Base class for all errors thrown by the nabcast library.
+///
+/// Thrown for *runtime* failure conditions that a correct caller can hit
+/// (malformed topology files, infeasible parameters, ...). Programming errors
+/// (violated preconditions) abort via NAB_ASSERT instead.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace nab

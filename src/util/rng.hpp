@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nab {
+
+/// Deterministic pseudo-random source used throughout the library.
+///
+/// Everything in nabcast that needs randomness (coding-matrix generation,
+/// graph generators, adversary strategies, property tests) draws from an
+/// explicitly seeded `rng` so that every run is reproducible. The engine is
+/// std::mt19937_64; the wrapper pins down the draw helpers we rely on so
+/// results do not depend on distribution implementations.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform 32-bit word.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(engine_() >> 32); }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p in [0, 1].
+  bool chance(double p);
+
+  /// Derive an independent child generator (for per-component streams).
+  rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nab

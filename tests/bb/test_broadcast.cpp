@@ -1,0 +1,105 @@
+#include "bb/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace nab::bb {
+namespace {
+
+struct harness {
+  explicit harness(int n, std::vector<graph::node_id> corrupt = {}, int f = 1)
+      : g(graph::complete(n)), net(g), faults(n, corrupt), plan(g, f) {}
+  graph::digraph g;
+  sim::network net;
+  sim::fault_set faults;
+  channel_plan plan;
+};
+
+TEST(BroadcastDefault, AutoSelectsPhaseKingForWideGroups) {
+  harness h(5);  // 5 > 4f with f=1, single word
+  const auto r = broadcast_default(h.plan, h.net, h.faults, 0, {9}, 1, 64);
+  for (graph::node_id v : h.g.active_nodes())
+    EXPECT_EQ(r.decisions[static_cast<std::size_t>(v)], (value{9}));
+}
+
+TEST(BroadcastDefault, EigHandlesTightGroups) {
+  harness h(4);  // 4 <= 4f: must fall back to EIG
+  const auto r = broadcast_default(h.plan, h.net, h.faults, 0, {5, 6}, 1, 128);
+  for (graph::node_id v : h.g.active_nodes())
+    EXPECT_EQ(r.decisions[static_cast<std::size_t>(v)], (value{5, 6}));
+}
+
+TEST(BroadcastDefault, ExplicitProtocolChoice) {
+  harness h(6);
+  const auto r_eig =
+      broadcast_default(h.plan, h.net, h.faults, 1, {3}, 1, 64, bb_protocol::eig);
+  const auto r_pk = broadcast_default(h.plan, h.net, h.faults, 1, {3}, 1, 64,
+                                      bb_protocol::phase_king);
+  for (graph::node_id v : h.g.active_nodes()) {
+    EXPECT_EQ(r_eig.decisions[static_cast<std::size_t>(v)], (value{3}));
+    EXPECT_EQ(r_pk.decisions[static_cast<std::size_t>(v)], (value{3}));
+  }
+}
+
+TEST(BroadcastFlags, AllHonestFlagsAgreeEverywhere) {
+  harness h(4);
+  std::vector<bool> flags{true, false, false, true};
+  const auto r = broadcast_flags(h.plan, h.net, h.faults, flags, 1, h.g.active_nodes());
+  for (graph::node_id src = 0; src < 4; ++src)
+    for (graph::node_id v : h.g.active_nodes())
+      EXPECT_EQ(r.agreed[static_cast<std::size_t>(src)][static_cast<std::size_t>(v)],
+                flags[static_cast<std::size_t>(src)]);
+}
+
+/// A corrupt node announces MISMATCH to half the nodes and NULL to the rest.
+class false_flagger : public eig_adversary {
+ public:
+  value source_value(graph::node_id, graph::node_id receiver, const value&) override {
+    return {receiver % 2 == 0 ? 1u : 0u};
+  }
+};
+
+TEST(BroadcastFlags, InconsistentFlagStillYieldsAgreement) {
+  harness h(4, {2});
+  false_flagger adv;
+  std::vector<bool> flags{false, false, false, false};
+  const auto r = broadcast_flags(h.plan, h.net, h.faults, flags, 1, h.g.active_nodes(), &adv);
+  // Honest sources' flags are agreed faithfully.
+  for (graph::node_id src : {0, 1, 3})
+    for (graph::node_id v : h.g.active_nodes()) {
+      if (h.faults.is_honest(v)) {
+        EXPECT_FALSE(r.agreed[static_cast<std::size_t>(src)][static_cast<std::size_t>(v)]);
+      }
+    }
+  // The corrupt source's flag is *some* agreed bit, identical at all honest
+  // nodes.
+  bool first = true;
+  bool bit = false;
+  for (graph::node_id v : h.g.active_nodes()) {
+    if (h.faults.is_corrupt(v)) continue;
+    if (first) {
+      bit = r.agreed[2][static_cast<std::size_t>(v)];
+      first = false;
+    } else {
+      EXPECT_EQ(r.agreed[2][static_cast<std::size_t>(v)], bit);
+    }
+  }
+}
+
+TEST(BroadcastFlags, TimeIndependentOfPayloadCount) {
+  // Broadcasting 4 flags costs the same 2 rounds as broadcasting 1.
+  harness h1(4), h4(4);
+  std::vector<bool> one{true, false, false, false};
+  std::vector<bool> all{true, true, true, true};
+  const int steps1_before = h1.net.steps();
+  broadcast_flags(h1.plan, h1.net, h1.faults, one, 1, h1.g.active_nodes());
+  const int steps1 = h1.net.steps() - steps1_before;
+  const int steps4_before = h4.net.steps();
+  broadcast_flags(h4.plan, h4.net, h4.faults, all, 1, h4.g.active_nodes());
+  const int steps4 = h4.net.steps() - steps4_before;
+  EXPECT_EQ(steps1, steps4);
+}
+
+}  // namespace
+}  // namespace nab::bb

@@ -1,0 +1,120 @@
+#include "bb/channels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nab::bb {
+namespace {
+
+TEST(Channels, DirectLinkUsedWhenPresent) {
+  const graph::digraph g = graph::complete(4);
+  channel_plan plan(g, 1);
+  const auto& r = plan.routes(0, 3);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (std::vector<graph::node_id>{0, 3}));
+}
+
+TEST(Channels, MissingLinkEmulatedWithDisjointPaths) {
+  // Remove the direct 0<->3 link from K5; emulation must find 2f+1 = 3
+  // node-disjoint paths.
+  graph::digraph g = graph::complete(5);
+  g.remove_edge_pair(0, 3);
+  channel_plan plan(g, 1);
+  const auto& r = plan.routes(0, 3);
+  ASSERT_EQ(r.size(), 3u);
+  std::vector<int> interior(5, 0);
+  for (const auto& p : r) {
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+    for (std::size_t i = 1; i + 1 < p.size(); ++i) ++interior[static_cast<std::size_t>(p[i])];
+  }
+  for (int v = 0; v < 5; ++v) EXPECT_LE(interior[static_cast<std::size_t>(v)], 1);
+}
+
+TEST(Channels, InsufficientConnectivityThrows) {
+  // Ring is only 2-connected: f=1 needs 3 disjoint paths for non-adjacent
+  // pairs.
+  EXPECT_THROW(channel_plan(graph::ring(6), 1), nab::error);
+}
+
+TEST(Channels, DeliveryAndAccounting) {
+  const graph::digraph g = graph::complete(3, 2);
+  sim::network net(g);
+  sim::fault_set faults(3);
+  channel_plan plan(g, 0);
+  plan.unicast(0, 1, 9, {123}, 10);
+  const double t = plan.end_round(net, faults);
+  EXPECT_DOUBLE_EQ(t, 5.0);  // 10 bits on a capacity-2 link
+  ASSERT_EQ(plan.inbox(1).size(), 1u);
+  EXPECT_EQ(plan.inbox(1)[0].payload, (std::vector<std::uint64_t>{123}));
+  EXPECT_EQ(plan.inbox(1)[0].tag, 9u);
+  EXPECT_EQ(net.link_bits(0, 1), 10u);
+}
+
+TEST(Channels, EmulatedPathChargesEveryHop) {
+  graph::digraph g = graph::complete(5);
+  g.remove_edge_pair(0, 3);
+  sim::network net(g);
+  sim::fault_set faults(5);
+  channel_plan plan(g, 1);
+  plan.unicast(0, 3, 0, {7}, 6);
+  plan.end_round(net, faults);
+  // 3 disjoint paths, each with >= 2 hops, each hop charged 6 bits.
+  EXPECT_GE(net.total_bits(), 6u * 6u);
+  ASSERT_EQ(plan.inbox(3).size(), 1u);
+  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{7}));
+}
+
+/// Replaces every relayed copy with a forged payload.
+class forger : public relay_adversary {
+ public:
+  std::optional<std::vector<std::uint64_t>> tamper(
+      const std::vector<graph::node_id>&, const sim::message&) override {
+    return std::vector<std::uint64_t>{666};
+  }
+};
+
+TEST(Channels, MajorityDefeatsSingleCorruptRelay) {
+  graph::digraph g = graph::complete(5);
+  g.remove_edge_pair(0, 3);
+  sim::network net(g);
+  sim::fault_set faults(5, {1});  // node 1 may relay one of the three paths
+  channel_plan plan(g, 1);
+  forger adv;
+  plan.unicast(0, 3, 0, {42}, 8);
+  plan.end_round(net, faults, &adv);
+  ASSERT_EQ(plan.inbox(3).size(), 1u);
+  // Two honest paths out of three: majority yields the true payload.
+  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{42}));
+}
+
+TEST(Channels, TamperWinsOnlyWithMajorityOfPaths) {
+  graph::digraph g = graph::complete(5);
+  g.remove_edge_pair(0, 3);
+  sim::network net(g);
+  // f=1 plan but TWO corrupt relays (over budget): forgery can win.
+  sim::fault_set faults(5, {1, 2});
+  channel_plan plan(g, 1);
+  forger adv;
+  plan.unicast(0, 3, 0, {42}, 8);
+  plan.end_round(net, faults, &adv);
+  ASSERT_EQ(plan.inbox(3).size(), 1u);
+  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{666}));
+}
+
+TEST(Channels, RoundsClearInboxes) {
+  const graph::digraph g = graph::complete(3);
+  sim::network net(g);
+  sim::fault_set faults(3);
+  channel_plan plan(g, 0);
+  plan.unicast(0, 1, 0, {1}, 1);
+  plan.end_round(net, faults);
+  EXPECT_EQ(plan.inbox(1).size(), 1u);
+  plan.end_round(net, faults);
+  EXPECT_TRUE(plan.inbox(1).empty());
+}
+
+}  // namespace
+}  // namespace nab::bb

@@ -1,0 +1,91 @@
+#include "core/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf/linalg.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nab::core {
+namespace {
+
+TEST(Certify, RandomMatricesCertifyOnPaperGraphs) {
+  // Theorem 1: random coding matrices are correct with overwhelming
+  // probability over GF(2^16).
+  const graph::digraph g = graph::paper_fig1a();
+  const coding_scheme cs = coding_scheme::generate(g, 1, 1234);  // rho = U1/2 = 1
+  const certification c = certify_coding(g, 1, dispute_record{}, cs);
+  EXPECT_TRUE(c.ok);
+  EXPECT_TRUE(c.failing.empty());
+}
+
+TEST(Certify, CompleteGraphHigherRho) {
+  const graph::digraph g = graph::complete(7, 2);
+  // U1 = min pairwise cut over 5-subsets = 4*4=16 -> rho = 8.
+  const graph::capacity_t uk = compute_uk(g, 2, dispute_record{});
+  const coding_scheme cs =
+      coding_scheme::generate(g, static_cast<int>(compute_rho(uk)), 99);
+  EXPECT_TRUE(certify_coding(g, 2, dispute_record{}, cs).ok);
+}
+
+TEST(Certify, OverlargeRhoFailsCertification) {
+  // rho above U_k/2 violates Theorem 1's premise: C_H cannot reach full row
+  // rank because some H has too little capacity. Use the paper's Fig 1(a)
+  // with rho = 3 (U_1 = 2 means rho must be 1).
+  const graph::digraph g = graph::paper_fig1a();
+  const coding_scheme cs = coding_scheme::generate(g, 3, 5);
+  const certification c = certify_coding(g, 1, dispute_record{}, cs);
+  EXPECT_FALSE(c.ok);
+  EXPECT_FALSE(c.failing.empty());
+}
+
+TEST(Certify, CheckMatrixShape) {
+  const graph::digraph g = graph::paper_fig1a();
+  const coding_scheme cs = coding_scheme::generate(g, 1, 7);
+  // H = {0,1,2}: edges inside are (0,1),(1,0),(0,2),(2,0),(1,2),(2,1), all
+  // capacity 1 -> 6 columns; rows = (|H|-1)*rho = 2.
+  const auto ch = build_check_matrix(g, {0, 1, 2}, cs);
+  EXPECT_EQ(ch.rows(), 2u);
+  EXPECT_EQ(ch.cols(), 6u);
+}
+
+TEST(Certify, CheckMatrixKernelIsExactlyEqualValues) {
+  // D_H C_H = 0 iff all nodes in H hold equal values (the EC property, in
+  // matrix form): for certified schemes the kernel must be trivial.
+  const graph::digraph g = graph::complete(4);
+  const coding_scheme cs = coding_scheme::generate(g, 2, 21);
+  const std::vector<graph::node_id> h{0, 1, 2};
+  auto ch = build_check_matrix(g, h, cs);
+  EXPECT_EQ(gf::rank(ch), (h.size() - 1) * 2);
+}
+
+TEST(Certify, DisputesShrinkOmegaAndCertificationFollows) {
+  const graph::digraph g = graph::paper_fig1b();
+  dispute_record r;
+  r.add_dispute(1, 2);
+  const coding_scheme cs = coding_scheme::generate(g, 1, 31);
+  EXPECT_TRUE(certify_coding(g, 1, r, cs).ok);
+}
+
+TEST(Certify, Theorem1BoundValues) {
+  // n=4, f=1, rho=1: C(4,3)*(4-1-1)*1 = 8 bad events; field 2^16.
+  EXPECT_DOUBLE_EQ(theorem1_failure_bound(4, 1, 1, 16), 8.0 / 65536.0);
+  // Tiny fields clamp to 1.
+  EXPECT_DOUBLE_EQ(theorem1_failure_bound(10, 3, 8, 2), 1.0);
+  // f = 0: single subgraph.
+  EXPECT_DOUBLE_EQ(theorem1_failure_bound(4, 0, 2, 16), 1.0 * 3 * 2 / 65536.0);
+}
+
+TEST(Certify, RepeatedRandomSchemesVirtuallyAlwaysPass) {
+  const graph::digraph g = graph::complete(5);
+  rng seeds(2);
+  int pass = 0;
+  for (int i = 0; i < 20; ++i) {
+    const coding_scheme cs = coding_scheme::generate(g, 2, seeds.next_u64());
+    if (certify_coding(g, 1, dispute_record{}, cs).ok) ++pass;
+  }
+  EXPECT_EQ(pass, 20);
+}
+
+}  // namespace
+}  // namespace nab::core

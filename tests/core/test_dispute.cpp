@@ -1,0 +1,61 @@
+#include "core/dispute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace nab::core {
+namespace {
+
+using pair_set = std::set<std::pair<graph::node_id, graph::node_id>>;
+
+TEST(ExplainingSets, EmptyDisputesConvictNobody) {
+  EXPECT_TRUE(explaining_intersection({}, 1).empty());
+}
+
+TEST(ExplainingSets, SinglePairIsAmbiguous) {
+  // {1,2} in dispute: either of them explains it; intersection empty.
+  EXPECT_TRUE(explaining_intersection({{1, 2}}, 1).empty());
+}
+
+TEST(ExplainingSets, StarForcesTheCenter) {
+  // Node 3 disputes with f+1 = 2 distinct nodes: with f=1 only {3} covers.
+  const pair_set pairs{{1, 3}, {2, 3}};
+  const auto forced = explaining_intersection(pairs, 1);
+  EXPECT_EQ(forced, (std::vector<graph::node_id>{3}));
+}
+
+TEST(ExplainingSets, FTwoStarNeedsThreeArms) {
+  // With f=2, two arms can be explained by the two leaves; three arms
+  // cannot.
+  EXPECT_TRUE(explaining_intersection({{1, 5}, {2, 5}}, 2).empty());
+  EXPECT_EQ(explaining_intersection({{1, 5}, {2, 5}, {3, 5}}, 2),
+            (std::vector<graph::node_id>{5}));
+}
+
+TEST(ExplainingSets, DisjointPairsConsumeBudget) {
+  // Two disjoint pairs with f=2: four minimal covers, intersection empty.
+  EXPECT_TRUE(explaining_intersection({{0, 1}, {2, 3}}, 2).empty());
+  // But with f=2 and a star on 4 plus a disjoint pair, the star center is
+  // forced: covering {0,1} takes one node, leaving one for the 2-arm star.
+  EXPECT_EQ(explaining_intersection({{0, 1}, {2, 4}, {3, 4}}, 2),
+            (std::vector<graph::node_id>{4}));
+}
+
+TEST(ExplainingSets, UncoverableThrows) {
+  // Three disjoint pairs cannot be covered by f=2 nodes.
+  EXPECT_THROW(explaining_intersection({{0, 1}, {2, 3}, {4, 5}}, 2), nab::error);
+}
+
+TEST(ExplainingSets, TriangleWithBudgetTwo) {
+  // Dispute triangle {a,b},{b,c},{a,c}: any two of the three nodes cover;
+  // intersection empty.
+  EXPECT_TRUE(explaining_intersection({{0, 1}, {1, 2}, {0, 2}}, 2).empty());
+  // Budget 1 cannot cover a triangle.
+  EXPECT_THROW(explaining_intersection({{0, 1}, {1, 2}, {0, 2}}, 1), nab::error);
+}
+
+}  // namespace
+}  // namespace nab::core

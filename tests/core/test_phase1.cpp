@@ -1,0 +1,149 @@
+#include "core/phase1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace nab::core {
+namespace {
+
+std::vector<word> random_words(std::size_t n, rng& rand) {
+  std::vector<word> out(n);
+  for (auto& w : out) w = static_cast<word>(rand.below(65536));
+  return out;
+}
+
+TEST(Phase1, ChunkSplitRoundTrip) {
+  rng rand(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto input = random_words(1 + rand.below(40), rand);
+    const int shares = static_cast<int>(1 + rand.below(5));
+    const auto chunks = split_into_chunks(input, shares);
+    EXPECT_EQ(chunks.size(), static_cast<std::size_t>(shares));
+    EXPECT_EQ(assemble_chunks(chunks, input.size()), input);
+  }
+}
+
+TEST(Phase1, FaultFreeDeliveryOnPaperFig2) {
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  sim::network net(g);
+  sim::fault_set faults(4);
+  rng rand(2);
+  const auto input = random_words(8, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, trees);
+  for (graph::node_id v = 0; v < 4; ++v)
+    EXPECT_EQ(r.received[static_cast<std::size_t>(v)], input) << "node " << v;
+}
+
+TEST(Phase1, TimeIsLOverGamma) {
+  // 8 words = 128 bits over gamma=2 trees: chunk = 64 bits; every tree edge
+  // carries 64 bits. Link (0,1) has capacity 2 and hosts both trees -> 128
+  // bits / 2 = 64 = L/gamma. All other links: 64 bits / 1.
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  sim::network net(g);
+  sim::fault_set faults(4);
+  rng rand(3);
+  const auto input = random_words(8, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, trees);
+  EXPECT_DOUBLE_EQ(r.time, 64.0);  // L/gamma = 128/2
+}
+
+TEST(Phase1, StoreAndForwardCostsDepthTimesChunk) {
+  const graph::digraph g = graph::path_of_cliques(3, 2, 1);
+  const auto gamma = graph::broadcast_mincut(g, 0);
+  const auto trees = graph::pack_arborescences(g, 0, static_cast<int>(gamma));
+  rng rand(4);
+  const auto input = random_words(6, rand);
+
+  sim::network net_ct(g);
+  sim::network net_sf(g);
+  sim::fault_set faults(6);
+  const auto ct =
+      run_phase1(net_ct, g, faults, 0, input, trees, nullptr, propagation_mode::cut_through);
+  const auto sf = run_phase1(net_sf, g, faults, 0, input, trees, nullptr,
+                             propagation_mode::store_and_forward);
+  EXPECT_GE(sf.depth, 2);
+  EXPECT_GT(sf.time, ct.time);          // store-and-forward pays per hop
+  EXPECT_EQ(ct.received, sf.received);  // same data either way
+}
+
+TEST(Phase1, CorruptRelayPoisonsOnlyItsSubtrees) {
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  sim::network net(g);
+  sim::fault_set faults(4, {1});
+  phase1_corruptor adv;
+  rng rand(5);
+  const auto input = random_words(8, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, trees, &adv);
+  EXPECT_EQ(r.received[0], input);  // source unaffected
+  // Node 3 receives one share via node 1 on some tree: must be corrupted.
+  EXPECT_NE(r.received[3], input);
+}
+
+TEST(Phase1, EquivocatingSourceSplitsReceivers) {
+  // One explicit star arborescence so the equivocation target is a direct
+  // child deterministically.
+  const graph::digraph g = graph::complete(4);
+  graph::spanning_tree star;
+  star.edges = {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}};
+  sim::network net(g);
+  sim::fault_set faults(4, {0});
+  equivocating_source adv({2});
+  rng rand(6);
+  const auto input = random_words(9, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, {star}, &adv);
+  EXPECT_EQ(r.received[1], input);
+  EXPECT_EQ(r.received[3], input);
+  EXPECT_NE(r.received[2], input);  // the minority child got a forged value
+}
+
+TEST(Phase1, TranscriptsMatchDeliveries) {
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  sim::network net(g);
+  sim::fault_set faults(4);
+  rng rand(7);
+  const auto input = random_words(4, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, trees);
+  for (std::size_t t = 0; t < trees.size(); ++t)
+    for (const graph::edge& e : trees[t].edges) {
+      const auto key = std::make_tuple(static_cast<int>(t), e.from, e.to);
+      const auto& sent = r.truth[static_cast<std::size_t>(e.from)].p1_sent;
+      const auto& rcvd = r.truth[static_cast<std::size_t>(e.to)].p1_received;
+      ASSERT_TRUE(sent.count(key));
+      ASSERT_TRUE(rcvd.count(key));
+      EXPECT_EQ(sent.at(key), rcvd.at(key));
+    }
+}
+
+TEST(Phase1, ClaimsPackUnpackRoundTrip) {
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  sim::network net(g);
+  sim::fault_set faults(4);
+  rng rand(8);
+  const auto input = random_words(6, rand);
+  const auto r = run_phase1(net, g, faults, 0, input, trees);
+  for (graph::node_id v = 0; v < 4; ++v) {
+    const node_claims& c = r.truth[static_cast<std::size_t>(v)];
+    node_claims back;
+    ASSERT_TRUE(node_claims::unpack(c.pack(), back));
+    EXPECT_EQ(back, c);
+  }
+}
+
+TEST(Phase1, MalformedClaimsRejected) {
+  node_claims out;
+  EXPECT_FALSE(node_claims::unpack({999999999}, out));            // absurd count
+  EXPECT_FALSE(node_claims::unpack({1, 0, 1}, out));              // truncated entry
+  EXPECT_TRUE(node_claims::unpack(node_claims{}.pack(), out));    // empty is valid
+}
+
+}  // namespace
+}  // namespace nab::core

@@ -1,0 +1,60 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nab::core {
+namespace {
+
+TEST(Report, InstanceLineMentionsKeyFacts) {
+  instance_report r;
+  r.index = 3;
+  r.active_nodes = 5;
+  r.gamma = 4;
+  r.rho = 2;
+  r.mismatch_announced = true;
+  r.dispute_phase_run = true;
+  r.new_disputes = {{1, 2}};
+  r.newly_convicted = {2};
+  const std::string line = format_instance(r);
+  EXPECT_NE(line.find("#3"), std::string::npos);
+  EXPECT_NE(line.find("gamma=4"), std::string::npos);
+  EXPECT_NE(line.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(line.find("{1,2}"), std::string::npos);
+  EXPECT_NE(line.find("convicted=2"), std::string::npos);
+}
+
+TEST(Report, TsvHasHeaderAndOneRowPerInstance) {
+  session s({.g = graph::complete(4), .f = 1}, sim::fault_set(4));
+  rng rand(1);
+  const auto reports = s.run_many(3, 8, rand);
+  const std::string tsv = to_tsv(reports);
+  int newlines = 0;
+  for (char c : tsv) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 4);  // header + 3 rows
+  EXPECT_EQ(tsv.rfind("index\t", 0), 0u);
+}
+
+TEST(Report, SessionSummaryTracksEvidence) {
+  sim::fault_set faults(4, {1});
+  phase1_corruptor adv;
+  session s({.g = graph::complete(4), .f = 1}, faults, &adv);
+  rng rand(2);
+  s.run_many(2, 8, rand);
+  const std::string summary = format_session_summary(s);
+  EXPECT_NE(summary.find("instances=2"), std::string::npos);
+  EXPECT_NE(summary.find("convicted: 1"), std::string::npos);
+}
+
+TEST(Report, BoundsFormatting) {
+  const auto b = compute_bounds(graph::complete(4), 0, 1);
+  const std::string line = format_bounds(b);
+  EXPECT_NE(line.find("gamma*="), std::string::npos);
+  EXPECT_NE(line.find("T_NAB>="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nab::core

@@ -1,0 +1,139 @@
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace nab::core {
+namespace {
+
+TEST(Strategies, CorruptorFlipsEveryWord) {
+  phase1_corruptor adv;
+  const chunk honest{1, 2, 3};
+  const chunk out = adv.phase1_forward_chunk(0, 1, 2, honest);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], static_cast<word>(~honest[i]));
+}
+
+TEST(Strategies, TargetedCorruptorSparesOthers) {
+  phase1_corruptor adv(/*only_to=*/3);
+  const chunk honest{7, 8};
+  EXPECT_EQ(adv.phase1_forward_chunk(0, 1, 2, honest), honest);
+  EXPECT_NE(adv.phase1_forward_chunk(0, 1, 3, honest), honest);
+  EXPECT_EQ(adv.phase1_source_chunk(0, 2, honest), honest);
+  EXPECT_NE(adv.phase1_source_chunk(0, 3, honest), honest);
+}
+
+TEST(Strategies, CorruptorNeverReturnsEmpty) {
+  phase1_corruptor adv;
+  EXPECT_FALSE(adv.phase1_forward_chunk(0, 1, 2, {}).empty());
+}
+
+TEST(Strategies, EquivocatorSplitsByMinority) {
+  equivocating_source adv({2, 4});
+  const chunk honest{5};
+  EXPECT_EQ(adv.phase1_source_chunk(0, 1, honest), honest);
+  EXPECT_NE(adv.phase1_source_chunk(0, 2, honest), honest);
+  EXPECT_EQ(adv.phase1_source_chunk(0, 3, honest), honest);
+  EXPECT_NE(adv.phase1_source_chunk(0, 4, honest), honest);
+}
+
+TEST(Strategies, Phase2LiarKeepsWireShape) {
+  phase2_liar adv(3);
+  coded_symbols honest;
+  honest.count = 2;
+  honest.slices = 3;
+  honest.words = {1, 2, 3, 4, 5, 6};
+  const coded_symbols out = adv.phase2_coded(0, 1, honest);
+  EXPECT_EQ(out.count, honest.count);
+  EXPECT_EQ(out.slices, honest.slices);
+  EXPECT_EQ(out.words.size(), honest.words.size());
+  EXPECT_NE(out.words, honest.words);
+}
+
+TEST(Strategies, ClaimForgerOnlyTouchesVictimEntries) {
+  claim_forger adv(/*victim=*/1);
+  node_claims honest;
+  honest.p1_received[{0, 1, 2}] = {10, 20};  // from victim 1
+  honest.p1_received[{0, 3, 2}] = {30, 40};  // from node 3
+  honest.p2_received[{1, 2}] = {1, 1, {5}};
+  honest.p2_received[{3, 2}] = {1, 1, {6}};
+  const node_claims out = adv.phase3_claims(2, honest);
+  EXPECT_NE(out.p1_received.at({0, 1, 2}), honest.p1_received.at({0, 1, 2}));
+  EXPECT_EQ(out.p1_received.at({0, 3, 2}), honest.p1_received.at({0, 3, 2}));
+  EXPECT_NE(out.p2_received.at({1, 2}), honest.p2_received.at({1, 2}));
+  EXPECT_EQ(out.p2_received.at({3, 2}), honest.p2_received.at({3, 2}));
+}
+
+TEST(Strategies, CompositeRoutesPerNode) {
+  phase1_corruptor garble;
+  phase2_liar lie(9);
+  composite_adversary combo;
+  combo.assign(1, &garble);
+  combo.assign(2, &lie);
+
+  const chunk honest{3};
+  EXPECT_NE(combo.phase1_forward_chunk(0, 1, 3, honest), honest);  // delegate 1
+  EXPECT_EQ(combo.phase1_forward_chunk(0, 2, 3, honest), honest);  // liar ignores p1
+  EXPECT_EQ(combo.phase1_forward_chunk(0, 4, 3, honest), honest);  // unassigned
+
+  coded_symbols cs;
+  cs.count = 1;
+  cs.slices = 1;
+  cs.words = {11};
+  EXPECT_EQ(combo.phase2_coded(1, 3, cs), cs);  // corruptor ignores p2
+  EXPECT_NE(combo.phase2_coded(2, 3, cs), cs);  // liar garbles
+}
+
+TEST(Strategies, CompositeSourceRouting) {
+  equivocating_source src({2});
+  composite_adversary combo;
+  combo.set_source(0);
+  combo.assign(0, &src);
+  const chunk honest{1};
+  EXPECT_NE(combo.phase1_source_chunk(0, 2, honest), honest);
+  EXPECT_EQ(combo.phase1_source_chunk(0, 1, honest), honest);
+}
+
+TEST(Strategies, ChaosIsSeedDeterministic) {
+  const chunk honest{1, 2, 3, 4};
+  chaos_adversary a(42, 1.0), b(42, 1.0);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(a.phase1_forward_chunk(0, 1, 2, honest),
+              b.phase1_forward_chunk(0, 1, 2, honest));
+}
+
+TEST(Strategies, ChaosProbabilityZeroIsHonest) {
+  chaos_adversary adv(7, 0.0);
+  const chunk honest{9, 9};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(adv.phase1_forward_chunk(0, 1, 2, honest), honest);
+    EXPECT_EQ(adv.phase2_flag(1, false), false);
+  }
+}
+
+TEST(Strategies, StealthBurnsOneEdgePerInstance) {
+  const graph::digraph g = graph::complete(4);
+  stealth_disputer adv;
+  coded_symbols honest;
+  honest.count = 1;
+  honest.slices = 1;
+  honest.words = {100};
+
+  adv.on_instance_begin(0, g);
+  int lied = 0;
+  for (graph::node_id v : g.out_neighbors(1))
+    if (!(adv.phase2_coded(1, v, honest) == honest)) ++lied;
+  EXPECT_EQ(lied, 1);
+
+  // Next instance targets a different edge.
+  adv.on_instance_begin(1, g);
+  graph::node_id second_victim = -1;
+  for (graph::node_id v : g.out_neighbors(1))
+    if (!(adv.phase2_coded(1, v, honest) == honest)) second_victim = v;
+  EXPECT_NE(second_victim, -1);
+  EXPECT_NE(second_victim, 0);  // 0 was burned in instance 0 (first neighbor)
+}
+
+}  // namespace
+}  // namespace nab::core

@@ -1,0 +1,86 @@
+#include "gf/gf2_16.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nab::gf {
+namespace {
+
+TEST(Gf2_16, AddIsXor) {
+  EXPECT_EQ(gf2_16::add(0x1234, 0xABCD), 0x1234 ^ 0xABCD);
+  EXPECT_EQ(gf2_16::add(0xFFFF, 0xFFFF), 0);
+}
+
+TEST(Gf2_16, MulIdentityAndZero) {
+  rng rand(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rand.below(65536));
+    EXPECT_EQ(gf2_16::mul(a, 1), a);
+    EXPECT_EQ(gf2_16::mul(1, a), a);
+    EXPECT_EQ(gf2_16::mul(a, 0), 0);
+  }
+}
+
+TEST(Gf2_16, MulMatchesShiftAndAdd) {
+  auto slow_mul = [](std::uint16_t a, std::uint16_t b) {
+    unsigned acc = 0, aa = a;
+    for (unsigned bb = b; bb; bb >>= 1) {
+      if (bb & 1) acc ^= aa;
+      aa <<= 1;
+      if (aa & 0x10000) aa ^= 0x1100B;
+    }
+    return static_cast<std::uint16_t>(acc);
+  };
+  rng rand(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rand.below(65536));
+    const auto b = static_cast<std::uint16_t>(rand.below(65536));
+    EXPECT_EQ(gf2_16::mul(a, b), slow_mul(a, b));
+  }
+}
+
+TEST(Gf2_16, InverseRoundTrip) {
+  rng rand(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<std::uint16_t>(1 + rand.below(65535));
+    EXPECT_EQ(gf2_16::mul(a, gf2_16::inv(a)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf2_16, FieldAxiomsSampled) {
+  rng rand(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rand.below(65536));
+    const auto b = static_cast<std::uint16_t>(rand.below(65536));
+    const auto c = static_cast<std::uint16_t>(rand.below(65536));
+    EXPECT_EQ(gf2_16::mul(a, b), gf2_16::mul(b, a));
+    EXPECT_EQ(gf2_16::mul(gf2_16::mul(a, b), c), gf2_16::mul(a, gf2_16::mul(b, c)));
+    EXPECT_EQ(gf2_16::mul(a, gf2_16::add(b, c)),
+              gf2_16::add(gf2_16::mul(a, b), gf2_16::mul(a, c)));
+  }
+}
+
+TEST(Gf2_16, PowMatchesRepeatedMul) {
+  rng rand(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::uint16_t>(1 + rand.below(65535));
+    std::uint16_t acc = 1;
+    for (unsigned e = 0; e < 30; ++e) {
+      EXPECT_EQ(gf2_16::pow(a, e), acc);
+      acc = gf2_16::mul(acc, a);
+    }
+  }
+}
+
+TEST(Gf2_16, DivByZeroIsPreconditionButDivWorks) {
+  rng rand(17);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rand.below(65536));
+    const auto b = static_cast<std::uint16_t>(1 + rand.below(65535));
+    EXPECT_EQ(gf2_16::div(gf2_16::mul(a, b), b), a);
+  }
+}
+
+}  // namespace
+}  // namespace nab::gf

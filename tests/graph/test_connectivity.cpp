@@ -1,0 +1,96 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nab::graph {
+namespace {
+
+TEST(Connectivity, CompleteGraphIsNMinusOneConnected) {
+  const digraph g = complete(6);
+  EXPECT_EQ(global_vertex_connectivity(g), 5);
+  EXPECT_EQ(vertex_connectivity(g, 0, 3), 5);
+}
+
+TEST(Connectivity, RingIsTwoConnected) {
+  const digraph g = ring(6);
+  EXPECT_EQ(global_vertex_connectivity(g), 2);
+}
+
+TEST(Connectivity, CutVertexDropsConnectivityToOne) {
+  // Two triangles sharing node 2.
+  digraph g(5);
+  g.add_bidirectional(0, 1, 1);
+  g.add_bidirectional(1, 2, 1);
+  g.add_bidirectional(0, 2, 1);
+  g.add_bidirectional(2, 3, 1);
+  g.add_bidirectional(3, 4, 1);
+  g.add_bidirectional(2, 4, 1);
+  EXPECT_EQ(global_vertex_connectivity(g), 1);
+  EXPECT_EQ(vertex_connectivity(g, 0, 4), 1);
+}
+
+TEST(Connectivity, DisjointPathsAreNodeDisjointAndValid) {
+  const digraph g = complete(7);
+  const auto paths = node_disjoint_paths(g, 0, 6, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  std::vector<int> interior_use(7, 0);
+  for (const auto& p : paths) {
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 6);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      EXPECT_TRUE(g.has_edge(p[i], p[i + 1]))
+          << "missing link " << p[i] << "->" << p[i + 1];
+    for (std::size_t i = 1; i + 1 < p.size(); ++i)
+      ++interior_use[static_cast<std::size_t>(p[i])];
+  }
+  for (int v = 1; v < 6; ++v) EXPECT_LE(interior_use[static_cast<std::size_t>(v)], 1);
+}
+
+TEST(Connectivity, DisjointPathsThrowWhenInfeasible) {
+  const digraph g = ring(6);
+  EXPECT_THROW(node_disjoint_paths(g, 0, 3, 3), nab::error);
+  EXPECT_NO_THROW(node_disjoint_paths(g, 0, 3, 2));
+}
+
+TEST(Connectivity, DirectEdgeCountsAsOnePath) {
+  digraph g(4);
+  g.add_edge(0, 3, 1);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_EQ(vertex_connectivity(g, 0, 3), 3);
+  const auto paths = node_disjoint_paths(g, 0, 3, 3);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(Connectivity, PaperPreconditionHolds2fPlus1) {
+  // NAB requires connectivity >= 2f+1; with f=1 the Fig 1(a) graph must be
+  // at least 3-connected... it is exactly 2-connected undirected-wise?
+  // Fig 1(a) has node 2 (0-based) adjacent to everyone; removing nodes 0 and
+  // 2 disconnects 1 from 3, so directed vertex connectivity is 2.
+  const digraph g = paper_fig1a();
+  EXPECT_EQ(global_vertex_connectivity(g), 2);
+}
+
+TEST(Connectivity, RandomGraphsConnectivityMonotoneUnderEdgeRemoval) {
+  rng rand(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    digraph g = erdos_renyi(7, 0.6, 1, 3, rand);
+    const int before = global_vertex_connectivity(g);
+    // Remove one non-cycle edge if any exists.
+    const auto es = g.edges();
+    if (!es.empty()) {
+      g.remove_edge(es[rand.below(es.size())].from, es[0].to);
+      EXPECT_LE(global_vertex_connectivity(g), before);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nab::graph

@@ -1,0 +1,121 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nab::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  digraph g(5);
+  EXPECT_EQ(g.universe(), 5);
+  EXPECT_EQ(g.active_count(), 5);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.total_capacity(), 0);
+}
+
+TEST(Digraph, AddEdgeAccumulatesCapacity) {
+  digraph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 3);
+  EXPECT_EQ(g.cap(0, 1), 5);
+  EXPECT_EQ(g.cap(1, 0), 0);
+}
+
+TEST(Digraph, BidirectionalAddsBoth) {
+  digraph g(3);
+  g.add_bidirectional(1, 2, 4);
+  EXPECT_EQ(g.cap(1, 2), 4);
+  EXPECT_EQ(g.cap(2, 1), 4);
+}
+
+TEST(Digraph, RemoveEdgePairClearsBothDirections) {
+  digraph g(3);
+  g.add_bidirectional(0, 1, 1);
+  g.remove_edge_pair(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, RemoveNodeDropsIncidentEdges) {
+  digraph g(4);
+  g.add_bidirectional(0, 1, 1);
+  g.add_bidirectional(1, 2, 1);
+  g.add_bidirectional(2, 3, 1);
+  g.remove_node(1);
+  EXPECT_FALSE(g.is_active(1));
+  EXPECT_EQ(g.active_count(), 3);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.active_nodes(), (std::vector<node_id>{0, 2, 3}));
+}
+
+TEST(Digraph, InducedKeepsIdsAndDropsOthers) {
+  digraph g(4);
+  g.add_bidirectional(0, 1, 1);
+  g.add_bidirectional(1, 2, 2);
+  g.add_bidirectional(2, 3, 3);
+  const digraph h = g.induced({0, 2, 3});
+  EXPECT_EQ(h.universe(), 4);
+  EXPECT_FALSE(h.is_active(1));
+  EXPECT_TRUE(h.has_edge(2, 3));
+  EXPECT_FALSE(h.has_edge(0, 1));
+  // Original untouched.
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Digraph, NeighborsListActiveOnly) {
+  digraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(3, 0, 1);
+  EXPECT_EQ(g.out_neighbors(0), (std::vector<node_id>{1, 2}));
+  EXPECT_EQ(g.in_neighbors(0), (std::vector<node_id>{3}));
+  g.remove_node(2);
+  EXPECT_EQ(g.out_neighbors(0), (std::vector<node_id>{1}));
+}
+
+TEST(Digraph, EdgesAreDeterministicallyOrdered) {
+  digraph g(3);
+  g.add_edge(2, 0, 1);
+  g.add_edge(0, 1, 1);
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], (edge{0, 1, 1}));
+  EXPECT_EQ(es[1], (edge{2, 0, 1}));
+}
+
+TEST(Ugraph, ToUndirectedSumsDirectedCapacities) {
+  digraph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 0, 3);
+  g.add_edge(1, 2, 4);
+  const ugraph u = to_undirected(g);
+  EXPECT_EQ(u.weight(0, 1), 5);
+  EXPECT_EQ(u.weight(1, 0), 5);
+  EXPECT_EQ(u.weight(1, 2), 4);
+  EXPECT_EQ(u.weight(0, 2), 0);
+}
+
+TEST(Ugraph, ToUndirectedPreservesRemovedNodes) {
+  digraph g(3);
+  g.add_bidirectional(0, 1, 1);
+  g.remove_node(2);
+  const ugraph u = to_undirected(g);
+  EXPECT_FALSE(u.is_active(2));
+  EXPECT_EQ(u.active_count(), 2);
+}
+
+TEST(Ugraph, InducedSubgraph) {
+  ugraph u(4);
+  u.add_weight(0, 1, 1);
+  u.add_weight(1, 2, 2);
+  u.add_weight(2, 3, 3);
+  const ugraph h = u.induced({1, 2});
+  EXPECT_EQ(h.active_count(), 2);
+  EXPECT_EQ(h.weight(1, 2), 2);
+  EXPECT_EQ(h.weight(0, 1), 0);
+}
+
+}  // namespace
+}  // namespace nab::graph

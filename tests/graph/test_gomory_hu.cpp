@@ -1,0 +1,62 @@
+#include "graph/gomory_hu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/mincut.hpp"
+#include "util/rng.hpp"
+
+namespace nab::graph {
+namespace {
+
+TEST(GomoryHu, MatchesDirectMaxflowOnRandomGraphs) {
+  rng rand(4242);
+  for (int trial = 0; trial < 15; ++trial) {
+    const digraph g = erdos_renyi(7, 0.5, 1, 8, rand);
+    const ugraph u = to_undirected(g);
+    const gomory_hu_tree tree(u);
+    const auto nodes = u.active_nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        EXPECT_EQ(tree.min_cut(nodes[i], nodes[j]),
+                  min_cut_value_undirected(u, nodes[i], nodes[j]))
+            << "pair (" << nodes[i] << "," << nodes[j] << ") trial " << trial;
+      }
+  }
+}
+
+TEST(GomoryHu, MinimumPairCutMatchesStoerWagner) {
+  rng rand(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const digraph g = erdos_renyi(8, 0.45, 1, 5, rand);
+    const ugraph u = to_undirected(g);
+    EXPECT_EQ(gomory_hu_tree(u).minimum_pair_cut(), global_min_cut(u).value);
+  }
+}
+
+TEST(GomoryHu, TreeHasNMinusOneEdges) {
+  const digraph g = complete(6, 2);
+  const gomory_hu_tree tree(to_undirected(g));
+  EXPECT_EQ(tree.tree_edges().size(), 5u);
+}
+
+TEST(GomoryHu, WorksOnInducedSubgraphs) {
+  const digraph g = paper_fig1a();
+  const ugraph u = to_undirected(g);
+  const gomory_hu_tree tree(u.induced({0, 1, 3}));
+  EXPECT_EQ(tree.min_cut(0, 1), 2);
+  EXPECT_EQ(tree.min_cut(1, 3), 2);
+  EXPECT_EQ(tree.minimum_pair_cut(), 2);
+}
+
+TEST(GomoryHu, SingleNodeTree) {
+  ugraph u(3);
+  u.remove_node(1);
+  u.remove_node(2);
+  const gomory_hu_tree tree(u);
+  EXPECT_TRUE(tree.tree_edges().empty());
+}
+
+}  // namespace
+}  // namespace nab::graph

@@ -1,0 +1,124 @@
+#include "graph/maxflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace nab::graph {
+namespace {
+
+TEST(Maxflow, SingleEdge) {
+  digraph g(2);
+  g.add_edge(0, 1, 7);
+  EXPECT_EQ(min_cut_value(g, 0, 1), 7);
+  EXPECT_EQ(min_cut_value(g, 1, 0), 0);
+}
+
+TEST(Maxflow, SeriesTakesMinimum) {
+  digraph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 3);
+  EXPECT_EQ(min_cut_value(g, 0, 2), 3);
+}
+
+TEST(Maxflow, ParallelPathsAdd) {
+  digraph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 3, 2);
+  g.add_edge(0, 2, 3);
+  g.add_edge(2, 3, 3);
+  EXPECT_EQ(min_cut_value(g, 0, 3), 5);
+}
+
+TEST(Maxflow, ClassicTextbookInstance) {
+  // CLRS figure 26.1-style network.
+  digraph g(6);
+  g.add_edge(0, 1, 16);
+  g.add_edge(0, 2, 13);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 1, 4);
+  g.add_edge(1, 3, 12);
+  g.add_edge(3, 2, 9);
+  g.add_edge(2, 4, 14);
+  g.add_edge(4, 3, 7);
+  g.add_edge(3, 5, 20);
+  g.add_edge(4, 5, 4);
+  EXPECT_EQ(min_cut_value(g, 0, 5), 23);
+}
+
+TEST(Maxflow, FlowConservationAndCutConsistency) {
+  rng rand(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const digraph g = erdos_renyi(8, 0.4, 1, 9, rand);
+    const flow_result fr = max_flow(g, 0, 7);
+    const int n = g.universe();
+    // Conservation at internal nodes.
+    for (node_id v = 1; v < n - 1; ++v) {
+      capacity_t in = 0, out = 0;
+      for (node_id u = 0; u < n; ++u) {
+        in += fr.flow_on(u, v, n);
+        out += fr.flow_on(v, u, n);
+      }
+      EXPECT_EQ(in, out) << "node " << v;
+    }
+    // Flow within capacity.
+    for (const edge& e : g.edges()) EXPECT_LE(fr.flow_on(e.from, e.to, n), e.cap);
+    // Cut capacity across source_side equals flow value (max-flow = min-cut).
+    capacity_t cut = 0;
+    for (const edge& e : g.edges())
+      if (fr.source_side[static_cast<std::size_t>(e.from)] &&
+          !fr.source_side[static_cast<std::size_t>(e.to)])
+        cut += e.cap;
+    EXPECT_EQ(cut, fr.value);
+    EXPECT_TRUE(fr.source_side[0]);
+    EXPECT_FALSE(fr.source_side[7]);
+  }
+}
+
+TEST(Maxflow, PaperFig1aMincuts) {
+  // The exact values the paper states for Figure 1(a) (0-based node ids).
+  const digraph g = paper_fig1a();
+  EXPECT_EQ(min_cut_value(g, 0, 1), 2);  // MINCUT(G,1,2) = 2
+  EXPECT_EQ(min_cut_value(g, 0, 3), 2);  // MINCUT(G,1,4) = 2
+  EXPECT_EQ(min_cut_value(g, 0, 2), 3);  // MINCUT(G,1,3) = 3
+  EXPECT_EQ(broadcast_mincut(g, 0), 2);  // gamma = 2
+}
+
+TEST(Maxflow, PaperFig2Gamma) {
+  const digraph g = paper_fig2();
+  EXPECT_EQ(broadcast_mincut(g, 0), 2);
+}
+
+TEST(Maxflow, BroadcastMincutZeroWhenUnreachable) {
+  digraph g(3);
+  g.add_edge(0, 1, 1);
+  // Node 2 unreachable.
+  EXPECT_EQ(broadcast_mincut(g, 0), 0);
+}
+
+TEST(Maxflow, UndirectedFlowUsesBothDirections) {
+  ugraph u(4);
+  u.add_weight(0, 1, 1);
+  u.add_weight(1, 3, 1);
+  u.add_weight(0, 2, 1);
+  u.add_weight(2, 3, 1);
+  u.add_weight(1, 2, 5);  // shortcut link usable either way
+  EXPECT_EQ(min_cut_value_undirected(u, 0, 3), 2);
+  EXPECT_EQ(min_cut_value_undirected(u, 3, 0), 2);
+  EXPECT_EQ(min_cut_value_undirected(u, 1, 2), 7);
+}
+
+TEST(Maxflow, RespectsRemovedNodes) {
+  digraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 3, 5);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_EQ(min_cut_value(g, 0, 3), 6);
+  g.remove_node(1);
+  EXPECT_EQ(min_cut_value(g, 0, 3), 1);
+}
+
+}  // namespace
+}  // namespace nab::graph

@@ -1,0 +1,100 @@
+#include "graph/mincut.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace nab::graph {
+namespace {
+
+/// Brute-force global min cut: min over all pairs of undirected max-flow.
+capacity_t brute_force_min_pair_cut(const ugraph& g) {
+  const auto nodes = g.active_nodes();
+  capacity_t best = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const capacity_t c = min_cut_value_undirected(g, nodes[i], nodes[j]);
+      if (best < 0 || c < best) best = c;
+    }
+  return best < 0 ? 0 : best;
+}
+
+TEST(StoerWagner, TriangleUniform) {
+  ugraph u(3);
+  u.add_weight(0, 1, 1);
+  u.add_weight(1, 2, 1);
+  u.add_weight(0, 2, 1);
+  EXPECT_EQ(global_min_cut(u).value, 2);
+}
+
+TEST(StoerWagner, PathCutsAtWeakestLink) {
+  ugraph u(4);
+  u.add_weight(0, 1, 5);
+  u.add_weight(1, 2, 2);
+  u.add_weight(2, 3, 7);
+  const global_cut cut = global_min_cut(u);
+  EXPECT_EQ(cut.value, 2);
+  // The cut side must be {0,1} or {2,3}.
+  const bool ok = cut.side == std::vector<node_id>{0, 1} ||
+                  cut.side == std::vector<node_id>{2, 3};
+  EXPECT_TRUE(ok);
+}
+
+TEST(StoerWagner, DisconnectedGraphHasZeroCut) {
+  ugraph u(4);
+  u.add_weight(0, 1, 3);
+  u.add_weight(2, 3, 3);
+  EXPECT_EQ(global_min_cut(u).value, 0);
+}
+
+TEST(StoerWagner, MatchesBruteForceOnRandomGraphs) {
+  rng rand(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const digraph g = erdos_renyi(7, 0.5, 1, 6, rand);
+    const ugraph u = to_undirected(g);
+    EXPECT_EQ(global_min_cut(u).value, brute_force_min_pair_cut(u)) << "trial " << trial;
+  }
+}
+
+TEST(StoerWagner, PaperFig1aUndirectedValues) {
+  // Undirected version of Fig 1(a): every bidirectional unit pair becomes
+  // weight 2. The paper's example (n=4, f=1, nodes 2,3 in dispute):
+  // Omega_k = { {1,2,4}, {1,3,4} } and U_k, the min over both subgraphs of
+  // the pairwise min cut, equals 2. Subgraph {1,2,4} is the 2-path through
+  // node 1 (cut 2); subgraph {1,3,4} is a weight-2 triangle (cut 4).
+  const digraph g = paper_fig1b();
+  const ugraph u = to_undirected(g);
+  const capacity_t c124 = pairwise_min_cut(u.induced({0, 1, 3}));
+  const capacity_t c134 = pairwise_min_cut(u.induced({0, 2, 3}));
+  EXPECT_EQ(c124, 2);
+  EXPECT_EQ(c134, 4);
+  EXPECT_EQ(std::min(c124, c134), 2);  // the paper's U_k
+}
+
+TEST(StoerWagner, CutSidePartitionsActiveNodes) {
+  rng rand(7);
+  const digraph g = erdos_renyi(8, 0.4, 1, 4, rand);
+  const ugraph u = to_undirected(g);
+  const global_cut cut = global_min_cut(u);
+  EXPECT_GE(cut.side.size(), 1u);
+  EXPECT_LT(cut.side.size(), static_cast<std::size_t>(u.active_count()));
+  // Verify reported value equals the actual crossing weight.
+  capacity_t crossing = 0;
+  for (const edge& e : u.edges()) {
+    const bool a = std::find(cut.side.begin(), cut.side.end(), e.from) != cut.side.end();
+    const bool b = std::find(cut.side.begin(), cut.side.end(), e.to) != cut.side.end();
+    if (a != b) crossing += e.cap;
+  }
+  EXPECT_EQ(crossing, cut.value);
+}
+
+TEST(StoerWagner, CompleteGraphCutIsDegree) {
+  const digraph g = complete(6, 1);  // bidirectional unit => undirected weight 2
+  EXPECT_EQ(global_min_cut(to_undirected(g)).value, 2 * 5);
+}
+
+}  // namespace
+}  // namespace nab::graph

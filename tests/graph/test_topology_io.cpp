@@ -1,0 +1,55 @@
+#include "graph/topology_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nab::graph {
+namespace {
+
+TEST(TopologyIo, ParsesDirectedAndBidirectional) {
+  const digraph g = parse_topology_text(
+      "# comment line\n"
+      "nodes 3\n"
+      "edge 0 1 5\n"
+      "biedge 1 2 2  # trailing comment\n");
+  EXPECT_EQ(g.universe(), 3);
+  EXPECT_EQ(g.cap(0, 1), 5);
+  EXPECT_EQ(g.cap(1, 0), 0);
+  EXPECT_EQ(g.cap(1, 2), 2);
+  EXPECT_EQ(g.cap(2, 1), 2);
+}
+
+TEST(TopologyIo, BlankLinesAndCommentsIgnored) {
+  const digraph g = parse_topology_text("\n\n# header\nnodes 2\n\nedge 0 1 1\n\n");
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(TopologyIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse_topology_text(""), nab::error);                       // no nodes
+  EXPECT_THROW(parse_topology_text("edge 0 1 1\n"), nab::error);           // edge first
+  EXPECT_THROW(parse_topology_text("nodes 0\n"), nab::error);              // empty graph
+  EXPECT_THROW(parse_topology_text("nodes 2\nnodes 3\n"), nab::error);     // dup nodes
+  EXPECT_THROW(parse_topology_text("nodes 2\nedge 0 2 1\n"), nab::error);  // id range
+  EXPECT_THROW(parse_topology_text("nodes 2\nedge 0 0 1\n"), nab::error);  // self-loop
+  EXPECT_THROW(parse_topology_text("nodes 2\nedge 0 1 0\n"), nab::error);  // cap 0
+  EXPECT_THROW(parse_topology_text("nodes 2\nedge 0 1\n"), nab::error);    // missing cap
+  EXPECT_THROW(parse_topology_text("nodes 2\nfrobnicate\n"), nab::error);  // directive
+}
+
+TEST(TopologyIo, FormatParseRoundTrip) {
+  const digraph original = paper_fig2();
+  const digraph parsed = parse_topology_text(format_topology(original));
+  EXPECT_EQ(parsed.universe(), original.universe());
+  EXPECT_EQ(parsed.edges(), original.edges());
+}
+
+TEST(TopologyIo, RoundTripPreservesGenerators) {
+  for (const digraph& g : {complete(5, 3), ring(6, 2), dumbbell(6, 4, 1)}) {
+    EXPECT_EQ(parse_topology_text(format_topology(g)).edges(), g.edges());
+  }
+}
+
+}  // namespace
+}  // namespace nab::graph

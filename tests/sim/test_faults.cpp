@@ -1,0 +1,34 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nab::sim {
+namespace {
+
+TEST(FaultSet, DefaultIsAllHonest) {
+  fault_set f(5);
+  EXPECT_EQ(f.count(), 0);
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(f.is_honest(v));
+  EXPECT_EQ(f.honest_nodes().size(), 5u);
+  EXPECT_TRUE(f.corrupt_nodes().empty());
+}
+
+TEST(FaultSet, MarkingCorrupt) {
+  fault_set f(5, {1, 3});
+  EXPECT_EQ(f.count(), 2);
+  EXPECT_TRUE(f.is_corrupt(1));
+  EXPECT_TRUE(f.is_corrupt(3));
+  EXPECT_TRUE(f.is_honest(0));
+  EXPECT_EQ(f.corrupt_nodes(), (std::vector<graph::node_id>{1, 3}));
+  EXPECT_EQ(f.honest_nodes(), (std::vector<graph::node_id>{0, 2, 4}));
+}
+
+TEST(FaultSet, DoubleMarkIsIdempotent) {
+  fault_set f(3);
+  f.mark_corrupt(2);
+  f.mark_corrupt(2);
+  EXPECT_EQ(f.count(), 1);
+}
+
+}  // namespace
+}  // namespace nab::sim

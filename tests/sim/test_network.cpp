@@ -1,0 +1,96 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace nab::sim {
+namespace {
+
+network make_line() {
+  graph::digraph g(3);
+  g.add_edge(0, 1, 4);
+  g.add_edge(1, 2, 2);
+  return network(std::move(g));
+}
+
+TEST(Network, StepDurationIsMaxLoadOverCapacity) {
+  network net = make_line();
+  net.send({0, 1, 0, {}, 8});   // 8 bits on cap-4 link -> 2 time units
+  net.send({1, 2, 0, {}, 2});   // 2 bits on cap-2 link -> 1 time unit
+  EXPECT_DOUBLE_EQ(net.end_step(), 2.0);
+  EXPECT_DOUBLE_EQ(net.elapsed(), 2.0);
+}
+
+TEST(Network, LoadsAccumulateWithinStep) {
+  network net = make_line();
+  net.send({0, 1, 0, {}, 4});
+  net.send({0, 1, 1, {}, 4});
+  EXPECT_DOUBLE_EQ(net.end_step(), 2.0);  // 8 bits total on cap 4
+}
+
+TEST(Network, DeliveryHappensAtStepBoundary) {
+  network net = make_line();
+  net.send({0, 1, 7, {42}, 8});
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.end_step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 7u);
+  EXPECT_EQ(net.inbox(1)[0].payload, (std::vector<std::uint64_t>{42}));
+  // Next step clears.
+  net.end_step();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, SendOnMissingLinkThrows) {
+  network net = make_line();
+  EXPECT_THROW(net.send({2, 0, 0, {}, 1}), nab::error);
+  EXPECT_THROW(net.send({0, 2, 0, {}, 1}), nab::error);
+}
+
+TEST(Network, ChargeAccountsWithoutDelivery) {
+  network net = make_line();
+  net.charge(0, 1, 12);
+  EXPECT_DOUBLE_EQ(net.end_step(), 3.0);
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_EQ(net.link_bits(0, 1), 12u);
+}
+
+TEST(Network, ZeroBitMessagesAreFreeButDelivered) {
+  network net = make_line();
+  net.send({0, 1, 0, {}, 0});
+  EXPECT_DOUBLE_EQ(net.end_step(), 0.0);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+}
+
+TEST(Network, LifetimeAccounting) {
+  network net = make_line();
+  net.send({0, 1, 0, {}, 4});
+  net.end_step();
+  net.send({0, 1, 0, {}, 4});
+  net.send({1, 2, 0, {}, 2});
+  net.end_step();
+  EXPECT_EQ(net.total_bits(), 10u);
+  EXPECT_EQ(net.link_bits(0, 1), 8u);
+  EXPECT_EQ(net.link_bits(1, 2), 2u);
+  EXPECT_EQ(net.steps(), 2);
+  EXPECT_DOUBLE_EQ(net.elapsed(), 2.0);
+}
+
+TEST(Network, EmptyStepTakesNoTime) {
+  network net = make_line();
+  EXPECT_DOUBLE_EQ(net.end_step(), 0.0);
+  EXPECT_EQ(net.steps(), 1);
+}
+
+TEST(Network, TopologyRespectsGraphGenerators) {
+  network net{graph::paper_fig2()};
+  net.send({0, 1, 0, {1, 2}, 128});
+  net.send({1, 3, 0, {3}, 64});
+  // (0,1) has capacity 2 -> 64 units; (1,3) has capacity 1 -> 64 units.
+  EXPECT_DOUBLE_EQ(net.end_step(), 64.0);
+}
+
+}  // namespace
+}  // namespace nab::sim

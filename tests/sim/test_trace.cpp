@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/tree_packing.hpp"
+#include "sim/network.hpp"
+
+namespace nab::sim {
+namespace {
+
+TEST(Trace, RecordsSendsAndCharges) {
+  network net{graph::complete(3)};
+  trace t;
+  net.attach_trace(&t);
+  net.send({0, 1, 7, {1, 2}, 32});
+  net.charge(1, 2, 8);
+  net.end_step();
+  net.send({2, 0, 9, {}, 4});
+  net.end_step();
+
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events()[0].step, 0);
+  EXPECT_EQ(t.events()[0].tag, 7u);
+  EXPECT_EQ(t.events()[1].tag, 0u);  // bare charge
+  EXPECT_EQ(t.events()[2].step, 1);
+  EXPECT_EQ(t.link_total(0, 1), 32u);
+  EXPECT_EQ(t.link_total(1, 2), 8u);
+  EXPECT_TRUE(t.used(2, 0));
+  EXPECT_FALSE(t.used(0, 2));
+  EXPECT_EQ(t.step_events(0).size(), 2u);
+}
+
+TEST(Trace, DetachAndClear) {
+  network net{graph::complete(3)};
+  trace t;
+  net.attach_trace(&t);
+  net.send({0, 1, 0, {}, 1});
+  net.attach_trace(nullptr);
+  net.send({0, 2, 0, {}, 1});
+  net.end_step();
+  EXPECT_EQ(t.events().size(), 1u);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, DumpIsHumanReadable) {
+  network net{graph::complete(3)};
+  trace t;
+  net.attach_trace(&t);
+  net.send({0, 1, 5, {}, 16});
+  net.end_step();
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("0->1"), std::string::npos);
+  EXPECT_NE(dump.find("bits=16"), std::string::npos);
+}
+
+TEST(Trace, Phase1UsesOnlyTreeEdges) {
+  // Protocol-level assertion enabled by tracing: the unreliable broadcast
+  // touches exactly the packed tree edges.
+  const graph::digraph g = graph::paper_fig2();
+  const auto trees = graph::pack_arborescences(g, 0, 2);
+  network net(g);
+  trace t;
+  net.attach_trace(&t);
+  // Mimic Phase 1's charging pattern directly.
+  for (const auto& tree : trees)
+    for (const auto& e : tree.edges) net.charge(e.from, e.to, 64);
+  net.end_step();
+  for (const auto& e : g.edges()) {
+    bool in_some_tree = false;
+    for (const auto& tree : trees)
+      for (const auto& te : tree.edges)
+        if (te.from == e.from && te.to == e.to) in_some_tree = true;
+    EXPECT_EQ(t.used(e.from, e.to), in_some_tree)
+        << e.from << "->" << e.to;
+  }
+}
+
+}  // namespace
+}  // namespace nab::sim
