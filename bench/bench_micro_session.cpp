@@ -1,70 +1,133 @@
 // M4: end-to-end engineering cost of simulating NAB instances (wall time,
 // not simulated time) — how the library scales with n, L, and the dispute
-// machinery. google-benchmark.
+// machinery. Self-timed; emits machine-readable JSON through the runtime
+// metrics sink (BENCH_micro_session.json) alongside a human-readable table,
+// so the perf trajectory is diffable across commits like BENCH_runtime.json.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/nab.hpp"
 #include "graph/generators.hpp"
+#include "runtime/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
-void bm_clean_instance(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const std::size_t words = static_cast<std::size_t>(state.range(1));
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// Runs `body` repeatedly until ~0.2s of wall time has accumulated (at
+/// least 3 iterations) and returns mean seconds per iteration.
+template <typename Body>
+std::pair<double, int> measure(Body&& body) {
+  const auto t0 = clock_type::now();
+  int iters = 0;
+  do {
+    body();
+    ++iters;
+  } while (seconds_since(t0) < 0.2 || iters < 3);
+  return {seconds_since(t0) / iters, iters};
+}
+
+struct result {
+  std::string name;
+  std::string label;
+  double sec_per_iter = 0.0;
+  int iterations = 0;
+};
+
+std::vector<nab::core::word> random_words(std::size_t n, nab::rng& rand) {
+  std::vector<nab::core::word> out(n);
+  for (auto& w : out) w = static_cast<nab::core::word>(rand.below(65536));
+  return out;
+}
+
+result bench_clean_instance(int n, std::size_t words) {
   nab::core::session s({.g = nab::graph::complete(n), .f = 1},
                        nab::sim::fault_set(n));
   nab::rng rand(1);
-  std::vector<nab::core::word> input(words);
-  for (auto& w : input) w = static_cast<nab::core::word>(rand.below(65536));
-  for (auto _ : state) benchmark::DoNotOptimize(s.run_instance(input));
-  state.SetLabel("n=" + std::to_string(n) + " L=" + std::to_string(16 * words));
+  const auto input = random_words(words, rand);
+  auto [sec, iters] = measure([&] { s.run_instance(input); });
+  return {"session_clean_instance",
+          "n=" + std::to_string(n) + " L=" + std::to_string(16 * words), sec, iters};
 }
-BENCHMARK(bm_clean_instance)
-    ->Name("session_clean_instance")
-    ->Args({4, 64})
-    ->Args({5, 64})
-    ->Args({7, 64})
-    ->Args({5, 1024})
-    ->Args({5, 8192});
 
-void bm_instance_under_attack(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
+result bench_instance_under_attack(int n) {
+  // Dispute control mutates the session (convictions shrink G_k), so every
+  // iteration needs a fresh session — but only the run_many call is timed,
+  // matching the old google-benchmark Pause/ResumeTiming split.
+  const auto t_start = clock_type::now();
+  double measured = 0.0;
+  int iters = 0;
+  do {
     nab::sim::fault_set faults(n, {1});
     nab::core::phase1_corruptor adv;
     nab::core::session s({.g = nab::graph::complete(n), .f = 1}, faults, &adv);
     nab::rng rand(2);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(s.run_many(2, 64, rand));
-  }
+    const auto t0 = clock_type::now();
+    s.run_many(2, 64, rand);
+    measured += seconds_since(t0);
+    ++iters;
+  } while (seconds_since(t_start) < 0.2 || iters < 3);
+  return {"session_with_dispute_control", "n=" + std::to_string(n),
+          measured / iters, iters};
 }
-BENCHMARK(bm_instance_under_attack)
-    ->Name("session_with_dispute_control")
-    ->Arg(4)
-    ->Arg(5)
-    ->Arg(7);
 
-void bm_bounds(benchmark::State& state) {
-  const auto g = nab::graph::complete(static_cast<int>(state.range(0)));
-  for (auto _ : state)
-    benchmark::DoNotOptimize(nab::core::compute_bounds(g, 0, 1));
+result bench_bounds(int n) {
+  const auto g = nab::graph::complete(n);
+  auto [sec, iters] = measure([&] { nab::core::compute_bounds(g, 0, 1); });
+  return {"capacity_bounds", "n=" + std::to_string(n), sec, iters};
 }
-BENCHMARK(bm_bounds)->Name("capacity_bounds")->Arg(4)->Arg(5)->Arg(6);
 
-void bm_certify(benchmark::State& state) {
-  const auto g = nab::graph::complete(static_cast<int>(state.range(0)), 2);
+result bench_certify(int n) {
+  const auto g = nab::graph::complete(n, 2);
   const auto uk = nab::core::compute_uk(g, 1, nab::core::dispute_record{});
   const auto cs = nab::core::coding_scheme::generate(
       g, static_cast<int>(nab::core::compute_rho(uk)), 5);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(
-        nab::core::certify_coding(g, 1, nab::core::dispute_record{}, cs));
+  auto [sec, iters] = measure(
+      [&] { nab::core::certify_coding(g, 1, nab::core::dispute_record{}, cs); });
+  return {"theorem1_certification", "n=" + std::to_string(n), sec, iters};
 }
-BENCHMARK(bm_certify)->Name("theorem1_certification")->Arg(4)->Arg(5)->Arg(6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::vector<result> results;
+  for (auto [n, w] : {std::pair<int, std::size_t>{4, 64},
+                      {5, 64},
+                      {7, 64},
+                      {5, 1024},
+                      {5, 8192}})
+    results.push_back(bench_clean_instance(n, w));
+  for (int n : {4, 5, 7}) results.push_back(bench_instance_under_attack(n));
+  for (int n : {4, 5, 6}) results.push_back(bench_bounds(n));
+  for (int n : {4, 5, 6}) results.push_back(bench_certify(n));
+
+  std::printf("%-30s %-16s %14s %8s\n", "benchmark", "label", "sec/iter", "iters");
+  for (const result& r : results)
+    std::printf("%-30s %-16s %14.6f %8d\n", r.name.c_str(), r.label.c_str(),
+                r.sec_per_iter, r.iterations);
+
+  using nab::runtime::json;
+  json runs = json::array();
+  for (const result& r : results) {
+    json j = json::object();
+    j.set("name", json::str(r.name))
+        .set("label", json::str(r.label))
+        .set("sec_per_iter", json::num(r.sec_per_iter))
+        .set("iterations", json::num(r.iterations));
+    runs.push(std::move(j));
+  }
+  json doc = json::object();
+  doc.set("bench", json::str("micro_session")).set("runs", std::move(runs));
+  const std::string path = "BENCH_micro_session.json";
+  nab::runtime::write_json_file(path, doc);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

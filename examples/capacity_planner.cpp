@@ -86,11 +86,13 @@ int main(int argc, char** argv) {
               100.0 * b.guaranteed_fraction,
               b.guaranteed_fraction == 0.5 ? "gamma* <= rho*" : "general case");
 
-  // Sanity-check the prediction with a real fault-free run.
-  core::session s({.g = g, .f = f}, sim::fault_set(n));
-  rng rand(1);
-  s.run_many(3, 2048, rand);
-  std::printf("  measured (fault-free) = %.2f bits/unit-time\n", s.stats().throughput());
+  // Sanity-check the prediction with a real fault-free run through the
+  // runtime's one-shot entry point (sweep-style experiments live in the
+  // `fleet` driver; this is a single spot check).
+  const core::session_run run =
+      core::run_session({.g = g, .f = f}, sim::fault_set(n), nullptr, 3, 2048, 1);
+  std::printf("  measured (fault-free) = %.2f bits/unit-time\n",
+              run.stats.throughput());
 
   std::printf("\nGraphviz DOT of the topology:\n%s", graph::to_dot(g).c_str());
   return 0;

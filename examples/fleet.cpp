@@ -1,0 +1,145 @@
+// fleet: registry-driven parallel scenario sweeps — the successor to the
+// ad-hoc per-topology loops that used to live in nabsim/capacity_planner.
+// Expands named scenario families from the runtime registry into a concrete
+// sweep, fans it out over a work-stealing shard pool, asserts the paper's
+// invariants (agreement, validity, dispute soundness) on every run, and
+// writes the machine-readable metrics to BENCH_runtime.json.
+//
+// Usage:
+//   fleet --list                         show the preset catalog and exit
+//   fleet [options]                      run a sweep
+//
+// Options:
+//   --scenario NAMES  comma-separated family names, or "all" (default: all)
+//   --jobs N          worker threads (default 1; results identical for any N)
+//   --seed S          sweep base seed (default 1)
+//   --json FILE       output path (default BENCH_runtime.json; "-" = none)
+//   --quiet           suppress the per-run progress lines
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
+               "             [--json FILE] [--quiet]\n");
+  std::exit(2);
+}
+
+/// Strict numeric parsing: atoll would silently turn "1e5" into 1 and a
+/// typo into seed 0, then stamp the wrong seed into BENCH_runtime.json.
+std::uint64_t parse_u64(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || *text == '-') {
+    std::fprintf(stderr, "fleet: %s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+int parse_int(const char* flag, const char* text) {
+  const std::uint64_t v = parse_u64(flag, text);
+  if (v > 1'000'000) {
+    std::fprintf(stderr, "fleet: %s value %s is out of range\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+void list_registry() {
+  std::size_t total = 0;
+  for (const nab::runtime::scenario_family& fam : nab::runtime::registry()) {
+    const std::size_t count = fam.expand().size();
+    total += count;
+    std::printf("%-22s %3zu runs  %s\n", fam.name.c_str(), count,
+                fam.description.c_str());
+  }
+  std::printf("%-22s %3zu runs\n", "total (=all)", total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string names = "all";
+  std::string json_path = "BENCH_runtime.json";
+  int jobs = 1;
+  std::uint64_t seed = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--list") {
+      list_registry();
+      return 0;
+    } else if (a == "--scenario") {
+      names = next();
+    } else if (a == "--jobs") {
+      jobs = parse_int("--jobs", next());
+    } else if (a == "--seed") {
+      seed = parse_u64("--seed", next());
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+    }
+  }
+  if (jobs < 1) jobs = 1;
+
+  try {
+    using namespace nab::runtime;
+    const std::vector<scenario> sweep = select_scenarios(names);
+    std::printf("fleet: %zu runs (%s), %d job%s, seed %llu\n", sweep.size(),
+                names.c_str(), jobs, jobs == 1 ? "" : "s",
+                static_cast<unsigned long long>(seed));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto records = run_sweep(sweep, seed, jobs, [&](const run_record& r) {
+      if (quiet) return;
+      std::printf("  [%3d] %-46s thpt=%8.3f disputes=%d convicted=%d %s\n",
+                  r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
+                  r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
+    });
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const sweep_summary s = summarize(records);
+    std::printf(
+        "fleet: %d runs, %d instances, %d dispute phases, throughput "
+        "min/mean/max = %.3f/%.3f/%.3f, wall %.2fs\n",
+        s.runs, s.total_instances, s.total_dispute_phases, s.min_throughput,
+        s.mean_throughput, s.max_throughput, wall);
+
+    if (json_path != "-") {
+      write_json_file(json_path, sweep_document(names, seed, jobs, records, wall));
+      std::printf("fleet: wrote %s\n", json_path.c_str());
+    }
+
+    if (s.failed_runs > 0) {
+      std::fprintf(stderr, "fleet: %d run(s) violated paper invariants\n",
+                   s.failed_runs);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,6 +1,9 @@
-// nabsim: command-line driver for the whole library — run NAB sessions on
-// arbitrary topologies with any built-in adversary, compute the paper's
+// nabsim: command-line driver for ONE session at a time — run NAB on an
+// arbitrary topology with any built-in adversary, compute the paper's
 // capacity bounds, or run the pipelined mode; plot-ready TSV output.
+// For parameter sweeps across topologies/adversaries/fault budgets, use
+// `fleet` (examples/fleet.cpp), which drives the runtime scenario registry
+// in parallel and writes BENCH_runtime.json.
 //
 // Usage:
 //   nabsim run       [options]   run Q instances, print per-instance reports

@@ -272,4 +272,17 @@ std::vector<instance_report> session::run_many(int q, std::size_t words_per_inpu
   return out;
 }
 
+session_run run_session(session_config cfg, const sim::fault_set& faults,
+                        nab_adversary* adv, int q, std::size_t words_per_input,
+                        std::uint64_t seed, bool rotate_sources) {
+  session s(std::move(cfg), faults, adv);
+  rng rand(seed);
+  session_run out;
+  out.reports = s.run_many(q, words_per_input, rand, rotate_sources);
+  out.stats = s.stats();
+  out.disputes = s.disputes();
+  out.final_graph = s.current_graph();
+  return out;
+}
+
 }  // namespace nab::core

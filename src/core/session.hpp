@@ -147,4 +147,22 @@ class session {
   std::uint64_t coding_generation_ = 0;
 };
 
+/// Everything a one-shot session execution produces, by value.
+struct session_run {
+  std::vector<instance_report> reports;
+  session_stats stats;
+  dispute_record disputes;
+  graph::digraph final_graph;  ///< G_k after the last instance
+};
+
+/// One-shot, re-entrant entry point: constructs a session from `cfg`, runs
+/// `q` instances of `words_per_input` random words drawn from a private
+/// rng(seed), and returns every observable by value. No global mutable state
+/// is touched (the GF tables are immutable after first use), so concurrent
+/// calls from different threads are safe as long as each call owns its
+/// `faults`/`adv` arguments — this is the fleet runtime's shard body.
+session_run run_session(session_config cfg, const sim::fault_set& faults,
+                        nab_adversary* adv, int q, std::size_t words_per_input,
+                        std::uint64_t seed, bool rotate_sources = false);
+
 }  // namespace nab::core

@@ -100,6 +100,48 @@ digraph dumbbell(int n, capacity_t fat, capacity_t thin) {
   return g;
 }
 
+digraph hypercube(int dim, capacity_t cap) {
+  NAB_ASSERT(dim >= 2 && dim <= 16, "hypercube needs 2 <= dim <= 16");
+  NAB_ASSERT(cap >= 1, "hypercube needs cap >= 1");
+  const int n = 1 << dim;
+  digraph g(n);
+  for (node_id u = 0; u < n; ++u)
+    for (int b = 0; b < dim; ++b) {
+      const node_id v = u ^ (1 << b);
+      if (u < v) g.add_bidirectional(u, v, cap);
+    }
+  return g;
+}
+
+digraph clustered_wan(int clusters, int cluster_size, capacity_t intra,
+                      capacity_t inter, int trunks) {
+  NAB_ASSERT(clusters >= 2 && cluster_size >= 2, "clustered_wan needs >= 2x2 nodes");
+  NAB_ASSERT(intra >= inter && inter >= 1, "clustered_wan needs intra >= inter >= 1");
+  NAB_ASSERT(trunks >= 1 && trunks <= cluster_size, "trunks must fit the cluster");
+  const int n = clusters * cluster_size;
+  digraph g(n);
+  auto id = [&](int c, int i) { return c * cluster_size + i; };
+  for (int c = 0; c < clusters; ++c)
+    for (int i = 0; i < cluster_size; ++i)
+      for (int j = i + 1; j < cluster_size; ++j)
+        g.add_bidirectional(id(c, i), id(c, j), intra);
+  // Each cluster pair gets `trunks` WAN links; the round-robin endpoint
+  // offset spreads trunk duty over all cluster members, keeping vertex
+  // connectivity at min(cluster_size - 1 + trunks', ...) rather than
+  // funneling every trunk through one gateway node.
+  int offset = 0;
+  for (int a = 0; a < clusters; ++a)
+    for (int b = a + 1; b < clusters; ++b) {
+      for (int t = 0; t < trunks; ++t) {
+        const int i = (offset + t) % cluster_size;
+        const int j = (offset + t + 1) % cluster_size;
+        g.add_bidirectional(id(a, i), id(b, j), inter);
+      }
+      ++offset;
+    }
+  return g;
+}
+
 digraph complete_with_weak_link(int n, capacity_t fat) {
   NAB_ASSERT(n >= 4 && fat >= 1, "complete_with_weak_link needs n >= 4, fat >= 1");
   digraph g(n);

@@ -51,6 +51,21 @@ digraph dumbbell(int n, capacity_t fat, capacity_t thin);
 /// (E7, Figure 3): broadcast must travel `hops` hops.
 digraph path_of_cliques(int hops, int cluster, capacity_t cap = 1);
 
+/// Binary hypercube on 2^dim nodes: nodes u, v are linked (bidirectionally,
+/// capacity `cap`) iff their ids differ in exactly one bit. Vertex
+/// connectivity equals `dim`, so it supports f <= (dim-1)/2 — a classic
+/// sparse-but-resilient datacenter topology for fleet sweeps.
+digraph hypercube(int dim, capacity_t cap = 1);
+
+/// Clustered WAN: `clusters` complete clusters of `cluster_size` nodes with
+/// fat intra-cluster links (capacity `intra`), plus thin inter-cluster links
+/// (capacity `inter`) forming a complete graph between clusters — every pair
+/// of clusters is joined on `trunks` node pairs chosen round-robin, so
+/// inter-cluster connectivity grows with `trunks`. Models geo-distributed
+/// replica groups whose WAN trunks are the capacity bottleneck.
+digraph clustered_wan(int clusters, int cluster_size, capacity_t intra,
+                      capacity_t inter, int trunks = 2);
+
 /// Complete graph with uniform capacity `fat` except one bidirectional weak
 /// link of capacity 1 between the last two nodes. The intro-claim bench
 /// (E6): capacity-oblivious protocols exchange full-length values over every

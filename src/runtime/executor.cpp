@@ -1,0 +1,95 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace nab::runtime {
+
+namespace {
+
+/// A mutex-guarded work deque. NAB shard bodies run whole protocol sessions
+/// (milliseconds to seconds), so queue-operation cost is irrelevant — a lock
+/// per pop/steal buys straightforward correctness over a lock-free Chase-Lev
+/// structure that would never pay for itself here.
+class shard_deque {
+ public:
+  void push_back(std::size_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(v);
+  }
+
+  std::optional<std::size_t> pop_back() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+
+  std::optional<std::size_t> steal_front() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::size_t> items_;
+};
+
+}  // namespace
+
+void parallel_for_each_index(int jobs, std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs), count);
+
+  std::vector<shard_deque> deques(workers);
+  for (std::size_t i = 0; i < count; ++i) deques[i % workers].push_back(i);
+
+  // First-failing-index exception wins, so error reporting is as
+  // deterministic as the results themselves.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = count;
+
+  auto worker_body = [&](std::size_t me) {
+    for (;;) {
+      std::optional<std::size_t> task = deques[me].pop_back();
+      for (std::size_t k = 1; !task && k < workers; ++k)
+        task = deques[(me + k) % workers].steal_front();
+      if (!task) return;  // every deque empty: sweep drained
+      try {
+        fn(*task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (*task < first_error_index) {
+          first_error_index = *task;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads.emplace_back(worker_body, w);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nab::runtime

@@ -1,0 +1,270 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::runtime {
+
+json json::object() {
+  json j;
+  j.kind_ = kind::object;
+  return j;
+}
+
+json json::array() {
+  json j;
+  j.kind_ = kind::array;
+  return j;
+}
+
+json json::str(std::string v) {
+  json j;
+  j.kind_ = kind::string;
+  j.string_ = std::move(v);
+  return j;
+}
+
+json json::num(double v) {
+  json j;
+  j.kind_ = kind::number_real;
+  j.real_ = v;
+  return j;
+}
+
+json json::num(std::int64_t v) {
+  json j;
+  j.kind_ = kind::number_int;
+  j.int_ = v;
+  return j;
+}
+
+json json::boolean(bool v) {
+  json j;
+  j.kind_ = kind::boolean;
+  j.bool_ = v;
+  return j;
+}
+
+json& json::set(std::string key, json value) {
+  NAB_ASSERT(kind_ == kind::object, "json::set on a non-object");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+json& json::push(json value) {
+  NAB_ASSERT(kind_ == kind::array, "json::push on a non-array");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_real(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the convention
+    out += "null";
+    return;
+  }
+  // Shortest round-trippable decimal would need to_chars; %.17g is longer
+  // but equally deterministic, which is what matters here.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(2 * depth), ' ');
+}
+
+}  // namespace
+
+void json::write(std::string& out, int depth) const {
+  switch (kind_) {
+    case kind::null:
+      out += "null";
+      break;
+    case kind::string:
+      write_escaped(out, string_);
+      break;
+    case kind::number_int:
+      out += std::to_string(int_);
+      break;
+    case kind::number_real:
+      write_real(out, real_);
+      break;
+    case kind::boolean:
+      out += bool_ ? "true" : "false";
+      break;
+    case kind::object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(out, depth + 1);
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, depth + 1);
+        if (i + 1 < members_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      indent(out, depth);
+      out.push_back('}');
+      break;
+    }
+    case kind::array: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        indent(out, depth + 1);
+        elements_[i].write(out, depth + 1);
+        if (i + 1 < elements_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      indent(out, depth);
+      out.push_back(']');
+      break;
+    }
+  }
+}
+
+std::string json::dump() const {
+  std::string out;
+  write(out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// Seeds are full-width uint64; JSON numbers are lossy there (2^53 mantissa,
+// and int64 casts turn the high bit into a sign), so they travel as hex.
+std::string hex_seed(std::uint64_t seed) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+json run_record::to_json() const {
+  json corrupt_ids = json::array();
+  for (int v : corrupt) corrupt_ids.push(json::num(v));
+  json j = json::object();
+  j.set("run_index", json::num(run_index))
+      .set("scenario", json::str(scenario))
+      .set("family", json::str(family))
+      .set("seed", json::str(hex_seed(seed)))
+      .set("topology", json::str(topology))
+      .set("nodes", json::num(nodes))
+      .set("f", json::num(f))
+      .set("adversary", json::str(adversary))
+      .set("propagation", json::str(propagation))
+      .set("flag_protocol", json::str(flag_protocol))
+      .set("instances", json::num(instances))
+      .set("words", json::num(words))
+      .set("corrupt", std::move(corrupt_ids))
+      .set("gamma", json::num(gamma))
+      .set("rho", json::num(rho))
+      .set("sim_elapsed", json::num(sim_elapsed))
+      .set("bits_broadcast", json::num(bits_broadcast))
+      .set("throughput", json::num(throughput))
+      .set("tau_mean", json::num(tau_mean))
+      .set("dispute_phases", json::num(dispute_phases))
+      .set("disputes", json::num(disputes))
+      .set("convictions", json::num(convictions))
+      .set("mismatch_instances", json::num(mismatch_instances))
+      .set("phase1_only_instances", json::num(phase1_only_instances))
+      .set("default_outcome_instances", json::num(default_outcome_instances))
+      .set("agreement", json::boolean(agreement))
+      .set("validity", json::boolean(validity))
+      .set("dispute_sound", json::boolean(dispute_sound))
+      .set("conviction_sound", json::boolean(conviction_sound))
+      .set("dispute_bound", json::boolean(dispute_bound))
+      .set("ok", json::boolean(ok()));
+  return j;
+}
+
+sweep_summary summarize(const std::vector<run_record>& records) {
+  sweep_summary s;
+  s.runs = static_cast<int>(records.size());
+  if (records.empty()) return s;
+  double sum = 0.0;
+  s.min_throughput = records.front().throughput;
+  s.max_throughput = records.front().throughput;
+  for (const run_record& r : records) {
+    if (!r.ok()) ++s.failed_runs;
+    s.total_instances += r.instances;
+    s.total_dispute_phases += r.dispute_phases;
+    sum += r.throughput;
+    s.min_throughput = std::min(s.min_throughput, r.throughput);
+    s.max_throughput = std::max(s.max_throughput, r.throughput);
+  }
+  s.mean_throughput = sum / static_cast<double>(records.size());
+  return s;
+}
+
+json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int jobs,
+                    const std::vector<run_record>& records, double wall_seconds) {
+  const sweep_summary s = summarize(records);
+  json runs = json::array();
+  for (const run_record& r : records) runs.push(r.to_json());
+  json summary = json::object();
+  summary.set("runs", json::num(s.runs))
+      .set("failed_runs", json::num(s.failed_runs))
+      .set("total_instances", json::num(s.total_instances))
+      .set("total_dispute_phases", json::num(s.total_dispute_phases))
+      .set("min_throughput", json::num(s.min_throughput))
+      .set("mean_throughput", json::num(s.mean_throughput))
+      .set("max_throughput", json::num(s.max_throughput));
+  json doc = json::object();
+  doc.set("bench", json::str("runtime"))
+      .set("sweep", json::str(sweep_name))
+      .set("base_seed", json::str(hex_seed(base_seed)));
+  // jobs and wall time describe the machine, not the workload: callers that
+  // need cross-thread-count comparability (the determinism contract) pass
+  // wall_seconds < 0 and compare the resulting documents byte for byte.
+  if (wall_seconds >= 0.0) {
+    doc.set("jobs", json::num(jobs));
+    doc.set("wall_seconds", json::num(wall_seconds));
+  }
+  doc.set("summary", std::move(summary)).set("runs", std::move(runs));
+  return doc;
+}
+
+void write_json_file(const std::string& path, const json& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw error("cannot open " + path + " for writing");
+  const std::string text = doc.dump();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();  // surface disk-full/quota errors now, not in the destructor
+  if (!out) throw error("short write to " + path);
+}
+
+}  // namespace nab::runtime

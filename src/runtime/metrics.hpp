@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nab::runtime {
+
+/// Minimal insertion-ordered JSON value for the runtime's machine-readable
+/// outputs (BENCH_runtime.json and friends). Deliberately tiny: objects keep
+/// key insertion order and numbers print deterministically, so two sweeps
+/// that measured the same values serialize to byte-identical files — the
+/// property the `--jobs 1` vs `--jobs N` determinism contract is checked
+/// against. Not a parser; the repo only ever *emits* JSON.
+class json {
+ public:
+  json() : kind_(kind::null) {}
+
+  static json object();
+  static json array();
+  static json str(std::string v);
+  static json num(double v);
+  static json num(std::int64_t v);
+  static json num(std::uint64_t v) { return num(static_cast<std::int64_t>(v)); }
+  static json num(int v) { return num(static_cast<std::int64_t>(v)); }
+  static json boolean(bool v);
+
+  /// Object member (insertion order preserved). Returns *this for chaining.
+  json& set(std::string key, json value);
+  /// Array element. Returns *this for chaining.
+  json& push(json value);
+
+  /// Serializes with 2-space indentation and a trailing newline at depth 0.
+  std::string dump() const;
+
+ private:
+  enum class kind { null, object, array, string, number_int, number_real, boolean };
+
+  void write(std::string& out, int depth) const;
+
+  kind kind_;
+  std::string string_;
+  std::int64_t int_ = 0;
+  double real_ = 0.0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, json>> members_;  // object
+  std::vector<json> elements_;                         // array
+};
+
+/// Everything measured about one fleet run (one scenario executed end to
+/// end: a full session of `instances` NAB instances). Plain data; equality
+/// ignores nothing — wall-clock time is kept OUT of this struct so records
+/// are comparable across thread counts, and is reported separately.
+struct run_record {
+  int run_index = 0;              ///< position in the expanded sweep
+  std::string scenario;           ///< concrete scenario name (unique per sweep)
+  std::string family;             ///< registry preset this expanded from
+  std::uint64_t seed = 0;         ///< derived per-run seed actually used
+
+  // Configuration echo (what was run, for offline analysis).
+  std::string topology;
+  int nodes = 0;
+  int f = 0;
+  std::string adversary;
+  std::string propagation;
+  std::string flag_protocol;
+  int instances = 0;
+  std::uint64_t words = 0;
+  std::vector<int> corrupt;       ///< corrupt node ids chosen for this run
+
+  // Paper quantities of the first instance (G_1).
+  std::int64_t gamma = 0;
+  std::int64_t rho = 0;
+
+  // Measured outcomes over the whole session.
+  double sim_elapsed = 0.0;       ///< simulated time units
+  std::uint64_t bits_broadcast = 0;
+  double throughput = 0.0;        ///< bits / simulated time
+  double tau_mean = 0.0;          ///< mean simulated duration per instance
+  int dispute_phases = 0;
+  int disputes = 0;               ///< distinct disputing pairs at session end
+  int convictions = 0;
+  int mismatch_instances = 0;
+  int phase1_only_instances = 0;
+  int default_outcome_instances = 0;
+
+  // Paper invariants, asserted per run.
+  bool agreement = true;          ///< all instances: honest outputs identical
+  bool validity = true;           ///< all instances: honest source ==> input
+  bool dispute_sound = true;      ///< every disputing pair touches a corrupt node
+  bool conviction_sound = true;   ///< only corrupt nodes convicted
+  bool dispute_bound = true;      ///< <= f(f+1) dispute-control executions
+
+  bool ok() const {
+    return agreement && validity && dispute_sound && conviction_sound && dispute_bound;
+  }
+
+  bool operator==(const run_record&) const = default;
+
+  json to_json() const;
+};
+
+/// Sweep-level aggregates, derived from the records.
+struct sweep_summary {
+  int runs = 0;
+  int failed_runs = 0;            ///< runs with any invariant violated
+  int total_instances = 0;
+  int total_dispute_phases = 0;
+  double min_throughput = 0.0;
+  double mean_throughput = 0.0;
+  double max_throughput = 0.0;
+};
+
+sweep_summary summarize(const std::vector<run_record>& records);
+
+/// "0x"-prefixed 16-digit hex for a seed. Seeds are serialized as strings:
+/// JSON numbers lose uint64 range (2^53 mantissa, int64 sign flip).
+std::string hex_seed(std::uint64_t seed);
+
+/// The canonical BENCH_runtime.json document: metadata + per-run records +
+/// aggregate summary. Deterministic for fixed records; `wall_seconds` < 0
+/// omits the wall-clock field entirely (used by the determinism test).
+json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int jobs,
+                    const std::vector<run_record>& records, double wall_seconds);
+
+/// Writes `doc.dump()` to `path` (throws nab::error on I/O failure).
+void write_json_file(const std::string& path, const json& doc);
+
+}  // namespace nab::runtime

@@ -1,0 +1,152 @@
+#include "runtime/runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "core/session.hpp"
+#include "graph/connectivity.hpp"
+#include "runtime/executor.hpp"
+#include "util/error.hpp"
+
+namespace nab::runtime {
+
+namespace {
+
+/// Picks the run's corrupt set: f distinct nodes, drawn deterministically
+/// from the run rng. Equivocation only bites when the source is corrupt, so
+/// that strategy pins the source into the set; every other strategy keeps
+/// the source honest so validity stays a falsifiable invariant.
+std::vector<graph::node_id> pick_corrupt(const scenario& s, int n, rng& rand) {
+  std::vector<graph::node_id> corrupt;
+  if (s.f == 0) return corrupt;
+  if (s.adversary == adversary_kind::equivocate) corrupt.push_back(s.source);
+  std::vector<graph::node_id> pool;
+  for (graph::node_id v = 0; v < n; ++v)
+    if (v != s.source) pool.push_back(v);
+  while (corrupt.size() < static_cast<std::size_t>(s.f) && !pool.empty()) {
+    const std::size_t i = rand.below(pool.size());
+    corrupt.push_back(pool[i]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  std::sort(corrupt.begin(), corrupt.end());
+  return corrupt;
+}
+
+/// Builds a topology satisfying NAB's preconditions (n >= 3f+1,
+/// connectivity >= 2f+1). Deterministic generators must satisfy them
+/// outright (a preset bug otherwise); random generators get up to 32
+/// reseeded attempts — attempt count feeds the derivation, not the clock,
+/// so the result is still a pure function of the run seed.
+graph::digraph build_valid_topology(const scenario& s, std::uint64_t run_seed) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    rng topo_rand(splitmix64(run_seed ^ static_cast<std::uint64_t>(attempt)));
+    graph::digraph g = build_topology(s.topology, topo_rand);
+    const int n = g.universe();
+    if (n >= 3 * s.f + 1 &&
+        (s.f == 0 || graph::global_vertex_connectivity(g) >= 2 * s.f + 1))
+      return g;
+    const bool randomized = s.topology.kind == topology_kind::erdos_renyi ||
+                            s.topology.kind == topology_kind::random_regular;
+    if (!randomized)
+      throw error("scenario '" + s.name + "': topology cannot support f=" +
+                  std::to_string(s.f) + " (needs n >= 3f+1, connectivity >= 2f+1)");
+  }
+  throw error("scenario '" + s.name +
+              "': no feasible random topology in 32 attempts");
+}
+
+}  // namespace
+
+run_record execute_scenario(const scenario& s, int run_index,
+                            std::uint64_t sweep_seed) {
+  const std::uint64_t run_seed =
+      derive_run_seed(sweep_seed, static_cast<std::uint64_t>(run_index));
+
+  run_record rec;
+  rec.run_index = run_index;
+  rec.scenario = s.name;
+  rec.family = s.family;
+  rec.seed = run_seed;
+  rec.topology = to_string(s.topology.kind);
+  rec.f = s.f;
+  rec.adversary = to_string(s.adversary);
+  rec.propagation = to_string(s.propagation);
+  rec.flag_protocol = to_string(s.flag_protocol);
+  rec.instances = s.instances;
+  rec.words = s.words;
+
+  graph::digraph g = build_valid_topology(s, run_seed);
+  rec.nodes = g.universe();
+
+  rng pick_rand(splitmix64(run_seed ^ 0xc0ffeeULL));
+  const std::vector<graph::node_id> corrupt = pick_corrupt(s, g.universe(), pick_rand);
+  rec.corrupt.assign(corrupt.begin(), corrupt.end());
+  sim::fault_set faults(g.universe(), corrupt);
+
+  // Minority victim for the equivocating source: the lowest non-source node.
+  graph::node_id minority = s.source == 0 ? 1 : 0;
+  const auto adv = make_adversary(s.adversary, splitmix64(run_seed ^ 0xadbeefULL),
+                                  minority);
+
+  core::session_config cfg;
+  cfg.g = g;
+  cfg.f = s.f;
+  cfg.source = s.source;
+  cfg.coding_seed = splitmix64(run_seed ^ 0x5eedULL);
+  cfg.propagation = s.propagation;
+  cfg.flag_protocol = s.flag_protocol;
+
+  const core::session_run run =
+      core::run_session(std::move(cfg), faults, adv.get(), s.instances, s.words,
+                        splitmix64(run_seed ^ 0x1235813ULL), s.rotate_sources);
+
+  // --- measured outcomes ---
+  if (!run.reports.empty()) {
+    rec.gamma = run.reports.front().gamma;
+    rec.rho = run.reports.front().rho;
+  }
+  rec.sim_elapsed = run.stats.elapsed;
+  rec.bits_broadcast = run.stats.bits_broadcast;
+  rec.throughput = run.stats.throughput();
+  rec.dispute_phases = run.stats.dispute_phases;
+  rec.disputes = static_cast<int>(run.disputes.pairs().size());
+  rec.convictions = static_cast<int>(run.disputes.convicted().size());
+  double tau_total = 0.0;
+  for (const core::instance_report& r : run.reports) {
+    tau_total += r.total_time();
+    if (r.mismatch_announced) ++rec.mismatch_instances;
+    if (r.phase1_only) ++rec.phase1_only_instances;
+    if (r.default_outcome) ++rec.default_outcome_instances;
+    rec.agreement = rec.agreement && r.agreement;
+    rec.validity = rec.validity && r.validity;
+  }
+  rec.tau_mean = run.reports.empty()
+                     ? 0.0
+                     : tau_total / static_cast<double>(run.reports.size());
+
+  // --- paper invariants (dispute soundness, conviction soundness, bound) ---
+  for (const auto& [a, b] : run.disputes.pairs())
+    if (faults.is_honest(a) && faults.is_honest(b)) rec.dispute_sound = false;
+  for (graph::node_id v : run.disputes.convicted())
+    if (faults.is_honest(v)) rec.conviction_sound = false;
+  rec.dispute_bound = rec.dispute_phases <= s.f * (s.f + 1);
+
+  return rec;
+}
+
+std::vector<run_record> run_sweep(
+    const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
+    const std::function<void(const run_record&)>& on_done) {
+  std::vector<run_record> records(sweep.size());
+  std::mutex done_mu;
+  parallel_for_each_index(jobs, sweep.size(), [&](std::size_t i) {
+    records[i] = execute_scenario(sweep[i], static_cast<int>(i), sweep_seed);
+    if (on_done) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      on_done(records[i]);
+    }
+  });
+  return records;
+}
+
+}  // namespace nab::runtime

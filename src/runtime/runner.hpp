@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+#include "runtime/scenario.hpp"
+
+namespace nab::runtime {
+
+/// Executes one concrete scenario end to end on the calling thread: derives
+/// the run seed from (sweep_seed, run_index), materializes the topology
+/// (reseeding random generators until NAB's preconditions hold), picks the
+/// corrupt set, instantiates the adversary, runs the session via
+/// core::run_session, and evaluates every paper invariant into the record.
+/// A pure function of its arguments — the determinism contract rests on it.
+run_record execute_scenario(const scenario& s, int run_index,
+                            std::uint64_t sweep_seed);
+
+/// Fans the sweep out over `jobs` workers (see executor.hpp). Results are
+/// indexed by sweep position, so the output is identical for every `jobs`
+/// value. `on_done`, when set, is invoked from worker threads under an
+/// internal lock, in completion (not sweep) order — display only.
+std::vector<run_record> run_sweep(
+    const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
+    const std::function<void(const run_record&)>& on_done = {});
+
+}  // namespace nab::runtime

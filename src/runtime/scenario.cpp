@@ -1,0 +1,526 @@
+#include "runtime/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/strategies.hpp"
+#include "graph/generators.hpp"
+#include "util/assert.hpp"
+#include "util/error.hpp"
+
+namespace nab::runtime {
+
+graph::digraph build_topology(const topology_spec& spec, rng& rand) {
+  switch (spec.kind) {
+    case topology_kind::complete:
+      return graph::complete(spec.n, spec.cap_lo);
+    case topology_kind::fig1a:
+      return graph::paper_fig1a();
+    case topology_kind::fig1b:
+      return graph::paper_fig1b();
+    case topology_kind::fig2:
+      return graph::paper_fig2();
+    case topology_kind::ring:
+      return graph::ring(spec.n, spec.cap_lo);
+    case topology_kind::erdos_renyi:
+      return graph::erdos_renyi(spec.n, spec.p, spec.cap_lo, spec.cap_hi, rand);
+    case topology_kind::random_regular:
+      return graph::random_regular(spec.n, spec.param_a, spec.cap_lo, spec.cap_hi,
+                                   rand);
+    case topology_kind::hypercube:
+      return graph::hypercube(spec.param_a, spec.cap_lo);
+    case topology_kind::clustered_wan:
+      return graph::clustered_wan(spec.param_a, spec.param_b, spec.cap_lo,
+                                  spec.cap_hi);
+    case topology_kind::dumbbell:
+      return graph::dumbbell(spec.n, spec.cap_lo, spec.cap_hi);
+    case topology_kind::weak_link:
+      return graph::complete_with_weak_link(spec.n, spec.cap_lo);
+    case topology_kind::path_of_cliques:
+      return graph::path_of_cliques(spec.param_a, spec.param_b, spec.cap_lo);
+  }
+  throw error("build_topology: unhandled topology kind");
+}
+
+int topology_nodes(const topology_spec& spec) {
+  switch (spec.kind) {
+    case topology_kind::fig1a:
+    case topology_kind::fig1b:
+    case topology_kind::fig2:
+      return 4;
+    case topology_kind::hypercube:
+      return 1 << spec.param_a;
+    case topology_kind::clustered_wan:
+    case topology_kind::path_of_cliques:
+      return spec.param_a * spec.param_b;
+    default:
+      return spec.n;
+  }
+}
+
+std::unique_ptr<core::nab_adversary> make_adversary(adversary_kind kind,
+                                                    std::uint64_t seed,
+                                                    graph::node_id minority_victim) {
+  using namespace core;
+  switch (kind) {
+    case adversary_kind::honest:
+      return nullptr;
+    case adversary_kind::p1_garble:
+      return std::make_unique<phase1_corruptor>();
+    case adversary_kind::equivocate:
+      return std::make_unique<equivocating_source>(
+          std::set<graph::node_id>{minority_victim});
+    case adversary_kind::p2_lie:
+      return std::make_unique<phase2_liar>(seed);
+    case adversary_kind::false_flag:
+      return std::make_unique<false_flagger>();
+    case adversary_kind::stealth:
+      return std::make_unique<stealth_disputer>();
+    case adversary_kind::dispute_farm:
+      return std::make_unique<dispute_farmer>();
+    case adversary_kind::chaos:
+      return std::make_unique<chaos_adversary>(seed);
+  }
+  throw error("make_adversary: unhandled adversary kind");
+}
+
+namespace {
+
+std::string axis_suffix(const scenario_family& fam, const scenario& s) {
+  // Only axes with more than one value appear in the name, so single-config
+  // families keep their bare preset name.
+  std::string out;
+  if (fam.topologies.size() > 1)
+    out += "/" + to_string(s.topology.kind) + "-n" + std::to_string(topology_nodes(s.topology));
+  if (fam.fault_budgets.size() > 1) out += "/f" + std::to_string(s.f);
+  if (fam.adversaries.size() > 1) out += "/" + to_string(s.adversary);
+  if (fam.word_counts.size() > 1) out += "/w" + std::to_string(s.words);
+  if (fam.propagations.size() > 1) out += "/" + to_string(s.propagation);
+  if (fam.flag_protocols.size() > 1) out += "/" + to_string(s.flag_protocol);
+  return out;
+}
+
+}  // namespace
+
+std::vector<scenario> scenario_family::expand() const {
+  NAB_ASSERT(!topologies.empty() && !fault_budgets.empty() && !adversaries.empty() &&
+                 !word_counts.empty() && !propagations.empty() &&
+                 !flag_protocols.empty(),
+             "scenario_family with an empty axis");
+  std::vector<scenario> out;
+  for (const topology_spec& topo : topologies)
+    for (int f : fault_budgets)
+      for (adversary_kind adv : adversaries)
+        for (std::uint64_t w : word_counts)
+          for (core::propagation_mode prop : propagations)
+            for (bb::bb_protocol proto : flag_protocols) {
+              scenario s;
+              s.family = name;
+              s.topology = topo;
+              s.f = f;
+              s.adversary = adv;
+              s.words = w;
+              s.propagation = prop;
+              s.flag_protocol = proto;
+              s.instances = instances;
+              s.rotate_sources = rotate_sources;
+              s.name = name + axis_suffix(*this, s);
+              out.push_back(std::move(s));
+            }
+  return out;
+}
+
+namespace {
+
+std::vector<scenario_family> build_registry() {
+  using tk = topology_kind;
+  using ak = adversary_kind;
+  std::vector<scenario_family> reg;
+
+  // --- The paper's worked figures, under every single-strategy attack. ---
+  {
+    scenario_family fam;
+    fam.name = "fig1";
+    fam.description =
+        "Figure 1(a)/(b): the paper's hand-traced 4-node example. Vertex "
+        "connectivity is 2, so full sessions run fault-free (f = 0) — the "
+        "figure's dispute trajectory is covered by the capacity tests.";
+    fam.topologies = {{.kind = tk::fig1a}, {.kind = tk::fig1b}};
+    fam.fault_budgets = {0};
+    fam.instances = 6;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "fig2";
+    fam.description =
+        "Figure 2(a): the asymmetric-capacity example whose two-tree packing "
+        "shares link (1,2); gamma = 2 must be achieved (fault-free — the "
+        "graph is directed-sparse and supports no positive f).";
+    fam.topologies = {{.kind = tk::fig2}};
+    fam.fault_budgets = {0};
+    fam.instances = 6;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- Dense complete-graph sweep across fault budgets and adversaries. ---
+  {
+    scenario_family fam;
+    fam.name = "complete";
+    fam.description =
+        "Complete graphs K_n under every built-in adversary strategy — the "
+        "core correctness x throughput sweep (n - 1 trees, gamma = n - 1).";
+    fam.topologies = {{.kind = tk::complete, .n = 4, .cap_lo = 1, .cap_hi = 1},
+                      {.kind = tk::complete, .n = 7, .cap_lo = 2, .cap_hi = 2}};
+    fam.adversaries = {ak::honest, ak::p1_garble, ak::equivocate, ak::p2_lie,
+                       ak::false_flag, ak::stealth, ak::chaos};
+    fam.instances = 6;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "complete-f2";
+    fam.description =
+        "K_7 with a two-node coalition (f = 2): dispute control must stay "
+        "within the f(f+1) = 6 execution bound against the stealth strategy.";
+    fam.topologies = {{.kind = tk::complete, .n = 7, .cap_lo = 1, .cap_hi = 1}};
+    fam.fault_budgets = {2};
+    fam.adversaries = {ak::honest, ak::stealth, ak::dispute_farm, ak::chaos};
+    fam.instances = 10;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- Scaling topologies (beyond the paper's figures). ---
+  {
+    scenario_family fam;
+    fam.name = "ring";
+    fam.description =
+        "Fault-free rings (vertex connectivity 2 only supports f = 0): "
+        "gamma = 2 regardless of n, the anti-scaling throughput baseline.";
+    fam.topologies = {{.kind = tk::ring, .n = 5, .cap_lo = 2, .cap_hi = 2},
+                      {.kind = tk::ring, .n = 8, .cap_lo = 2, .cap_hi = 2}};
+    fam.fault_budgets = {0};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "random-regular";
+    fam.description =
+        "Random d-regular graphs with random capacities in [1, 3]: the "
+        "generic 'deployed overlay' case (d >= 2f + 1 for feasibility).";
+    fam.topologies = {
+        {.kind = tk::random_regular, .n = 8, .param_a = 4, .cap_lo = 1, .cap_hi = 3},
+        {.kind = tk::random_regular, .n = 10, .param_a = 5, .cap_lo = 1, .cap_hi = 3}};
+    fam.adversaries = {ak::honest, ak::p1_garble, ak::chaos};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "hypercube";
+    fam.description =
+        "Binary hypercubes (dim 3): sparse, vertex connectivity = dim, "
+        "f <= (dim-1)/2 — the structured-sparse scaling point.";
+    fam.topologies = {{.kind = tk::hypercube, .param_a = 3, .cap_lo = 2}};
+    fam.adversaries = {ak::honest, ak::p1_garble, ak::p2_lie};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "clustered-wan";
+    fam.description =
+        "Geo-clustered WAN: complete clusters with fat local links joined by "
+        "thin trunks; NAB's capacity-awareness is the whole point here.";
+    fam.topologies = {{.kind = tk::clustered_wan, .param_a = 3, .param_b = 3,
+                       .cap_lo = 4, .cap_hi = 1}};
+    fam.adversaries = {ak::honest, ak::p1_garble, ak::stealth};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- Adversarial capacity skews (the intro's unbounded-gap workloads). ---
+  {
+    scenario_family fam;
+    fam.name = "capacity-skew";
+    fam.description =
+        "Dumbbell and weak-link skews: one thin link must not throttle "
+        "throughput (capacity-oblivious protocols stall here, NAB must not).";
+    fam.topologies = {{.kind = tk::dumbbell, .n = 6, .cap_lo = 4, .cap_hi = 1},
+                      {.kind = tk::weak_link, .n = 5, .cap_lo = 4}};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- Ablations: payload size, propagation model, flag-BB engine. ---
+  {
+    scenario_family fam;
+    fam.name = "ablation-length";
+    fam.description =
+        "Amortization in L: throughput must rise toward the bound as the "
+        "per-instance payload grows (Eq. 24 regime).";
+    fam.topologies = {{.kind = tk::complete, .n = 5, .cap_lo = 1, .cap_hi = 1}};
+    fam.word_counts = {16, 256, 2048};
+    fam.instances = 3;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "ablation-propagation";
+    fam.description =
+        "cut-through vs store-and-forward Phase 1 (the Appendix-D regime "
+        "Figure 3's pipelining repairs) on a 3-hop path of cliques.";
+    fam.topologies = {{.kind = tk::path_of_cliques, .param_a = 3, .param_b = 3,
+                       .cap_lo = 1}};
+    fam.propagations = {core::propagation_mode::cut_through,
+                        core::propagation_mode::store_and_forward};
+    fam.instances = 3;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "ablation-flags";
+    fam.description =
+        "EIG vs phase-king for the step-2.2 flag broadcast (A3: the choice "
+        "must not affect correctness, only constant-factor overhead).";
+    fam.topologies = {{.kind = tk::complete, .n = 6, .cap_lo = 1, .cap_hi = 1}};
+    fam.adversaries = {ak::p1_garble, ak::false_flag};
+    fam.flag_protocols = {bb::bb_protocol::eig, bb::bb_protocol::phase_king};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- Replicated-log style rotation: every replica proposes in turn. ---
+  {
+    scenario_family fam;
+    fam.name = "rotating-sources";
+    fam.description =
+        "Source rotation over K_5 (replicated state machine usage): dispute "
+        "evidence and the instance graph are shared across broadcasters.";
+    fam.topologies = {{.kind = tk::complete, .n = 5, .cap_lo = 2, .cap_hi = 2}};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.instances = 10;
+    fam.rotate_sources = true;
+    reg.push_back(std::move(fam));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<scenario_family>& registry() {
+  static const std::vector<scenario_family> reg = build_registry();
+  return reg;
+}
+
+const scenario_family* find_family(std::string_view name) {
+  for (const scenario_family& fam : registry())
+    if (fam.name == name) return &fam;
+  return nullptr;
+}
+
+std::vector<scenario> select_scenarios(std::string_view names) {
+  std::vector<scenario> out;
+  if (names == "all" || names.empty()) {
+    for (const scenario_family& fam : registry()) {
+      auto expanded = fam.expand();
+      out.insert(out.end(), expanded.begin(), expanded.end());
+    }
+    return out;
+  }
+  std::string csv(names);
+  csv.push_back(',');
+  std::string cur;
+  for (char c : csv) {
+    if (c != ',') {
+      cur.push_back(c);
+      continue;
+    }
+    if (cur.empty()) continue;
+    const scenario_family* fam = find_family(cur);
+    if (fam == nullptr) throw error("unknown scenario family '" + cur + "'");
+    auto expanded = fam->expand();
+    out.insert(out.end(), expanded.begin(), expanded.end());
+    cur.clear();
+  }
+  return out;
+}
+
+// --- string round-trip ---
+
+std::string to_string(topology_kind k) {
+  switch (k) {
+    case topology_kind::complete: return "complete";
+    case topology_kind::fig1a: return "fig1a";
+    case topology_kind::fig1b: return "fig1b";
+    case topology_kind::fig2: return "fig2";
+    case topology_kind::ring: return "ring";
+    case topology_kind::erdos_renyi: return "erdos_renyi";
+    case topology_kind::random_regular: return "random_regular";
+    case topology_kind::hypercube: return "hypercube";
+    case topology_kind::clustered_wan: return "clustered_wan";
+    case topology_kind::dumbbell: return "dumbbell";
+    case topology_kind::weak_link: return "weak_link";
+    case topology_kind::path_of_cliques: return "path_of_cliques";
+  }
+  return "?";
+}
+
+std::string to_string(adversary_kind k) {
+  switch (k) {
+    case adversary_kind::honest: return "honest";
+    case adversary_kind::p1_garble: return "p1_garble";
+    case adversary_kind::equivocate: return "equivocate";
+    case adversary_kind::p2_lie: return "p2_lie";
+    case adversary_kind::false_flag: return "false_flag";
+    case adversary_kind::stealth: return "stealth";
+    case adversary_kind::dispute_farm: return "dispute_farm";
+    case adversary_kind::chaos: return "chaos";
+  }
+  return "?";
+}
+
+std::string to_string(core::propagation_mode m) {
+  return m == core::propagation_mode::cut_through ? "cut_through"
+                                                  : "store_and_forward";
+}
+
+std::string to_string(bb::bb_protocol p) {
+  switch (p) {
+    case bb::bb_protocol::auto_select: return "auto";
+    case bb::bb_protocol::eig: return "eig";
+    case bb::bb_protocol::phase_king: return "phase_king";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Enum>
+Enum parse_enum(std::string_view s, const std::vector<Enum>& all,
+                const char* what) {
+  for (Enum e : all)
+    if (to_string(e) == s) return e;
+  throw error(std::string("unknown ") + what + " '" + std::string(s) + "'");
+}
+
+}  // namespace
+
+topology_kind topology_kind_from_string(std::string_view s) {
+  static const std::vector<topology_kind> all = {
+      topology_kind::complete,      topology_kind::fig1a,
+      topology_kind::fig1b,         topology_kind::fig2,
+      topology_kind::ring,          topology_kind::erdos_renyi,
+      topology_kind::random_regular, topology_kind::hypercube,
+      topology_kind::clustered_wan, topology_kind::dumbbell,
+      topology_kind::weak_link,     topology_kind::path_of_cliques};
+  return parse_enum(s, all, "topology kind");
+}
+
+adversary_kind adversary_kind_from_string(std::string_view s) {
+  static const std::vector<adversary_kind> all = {
+      adversary_kind::honest,     adversary_kind::p1_garble,
+      adversary_kind::equivocate, adversary_kind::p2_lie,
+      adversary_kind::false_flag, adversary_kind::stealth,
+      adversary_kind::dispute_farm, adversary_kind::chaos};
+  return parse_enum(s, all, "adversary kind");
+}
+
+core::propagation_mode propagation_from_string(std::string_view s) {
+  static const std::vector<core::propagation_mode> all = {
+      core::propagation_mode::cut_through,
+      core::propagation_mode::store_and_forward};
+  return parse_enum(s, all, "propagation mode");
+}
+
+bb::bb_protocol flag_protocol_from_string(std::string_view s) {
+  static const std::vector<bb::bb_protocol> all = {bb::bb_protocol::auto_select,
+                                                   bb::bb_protocol::eig,
+                                                   bb::bb_protocol::phase_king};
+  return parse_enum(s, all, "flag protocol");
+}
+
+std::map<std::string, std::string> scenario_to_params(const scenario& s) {
+  std::map<std::string, std::string> p;
+  p["name"] = s.name;
+  p["family"] = s.family;
+  p["topology"] = to_string(s.topology.kind);
+  p["n"] = std::to_string(s.topology.n);
+  p["param_a"] = std::to_string(s.topology.param_a);
+  p["param_b"] = std::to_string(s.topology.param_b);
+  p["cap_lo"] = std::to_string(s.topology.cap_lo);
+  p["cap_hi"] = std::to_string(s.topology.cap_hi);
+  {
+    char buf[40];  // %.17g round-trips every double exactly through stod
+    std::snprintf(buf, sizeof buf, "%.17g", s.topology.p);
+    p["p"] = buf;
+  }
+  p["f"] = std::to_string(s.f);
+  p["source"] = std::to_string(s.source);
+  p["adversary"] = to_string(s.adversary);
+  p["propagation"] = to_string(s.propagation);
+  p["flag_protocol"] = to_string(s.flag_protocol);
+  p["instances"] = std::to_string(s.instances);
+  p["words"] = std::to_string(s.words);
+  p["rotate_sources"] = s.rotate_sources ? "1" : "0";
+  return p;
+}
+
+namespace {
+
+const std::string& param(const std::map<std::string, std::string>& params,
+                         const std::string& key) {
+  auto it = params.find(key);
+  if (it == params.end()) throw error("scenario_from_params: missing key " + key);
+  return it->second;
+}
+
+/// Numeric conversions rethrow as nab::error naming the key, keeping the
+/// function's single error contract (callers reject malformed logs by
+/// catching nab::error, not std::invalid_argument).
+template <typename Conv>
+auto numeric(const std::map<std::string, std::string>& params,
+             const std::string& key, Conv conv) {
+  try {
+    return conv(param(params, key));
+  } catch (const std::invalid_argument&) {
+    throw error("scenario_from_params: malformed value for " + key);
+  } catch (const std::out_of_range&) {
+    throw error("scenario_from_params: out-of-range value for " + key);
+  }
+}
+
+}  // namespace
+
+scenario scenario_from_params(const std::map<std::string, std::string>& params) {
+  scenario s;
+  s.name = param(params, "name");
+  s.family = param(params, "family");
+  const auto to_int = [](const std::string& v) { return std::stoi(v); };
+  const auto to_cap = [](const std::string& v) {
+    return static_cast<graph::capacity_t>(std::stoll(v));
+  };
+  s.topology.kind = topology_kind_from_string(param(params, "topology"));
+  s.topology.n = numeric(params, "n", to_int);
+  s.topology.param_a = numeric(params, "param_a", to_int);
+  s.topology.param_b = numeric(params, "param_b", to_int);
+  s.topology.cap_lo = numeric(params, "cap_lo", to_cap);
+  s.topology.cap_hi = numeric(params, "cap_hi", to_cap);
+  s.topology.p = numeric(params, "p", [](const std::string& v) { return std::stod(v); });
+  s.f = numeric(params, "f", to_int);
+  s.source = numeric(params, "source", to_int);
+  s.adversary = adversary_kind_from_string(param(params, "adversary"));
+  s.propagation = propagation_from_string(param(params, "propagation"));
+  s.flag_protocol = flag_protocol_from_string(param(params, "flag_protocol"));
+  s.instances = numeric(params, "instances", to_int);
+  s.words = numeric(params, "words",
+                    [](const std::string& v) { return std::stoull(v); });
+  s.rotate_sources = param(params, "rotate_sources") == "1";
+  return s;
+}
+
+}  // namespace nab::runtime

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 #include "util/error.hpp"
@@ -12,12 +13,17 @@ network::network(graph::digraph topology)
       step_bits_(static_cast<std::size_t>(topo_.universe()) * topo_.universe(), 0),
       lifetime_bits_(step_bits_.size(), 0),
       pending_(static_cast<std::size_t>(topo_.universe())),
-      inboxes_(static_cast<std::size_t>(topo_.universe())) {}
+      inboxes_(static_cast<std::size_t>(topo_.universe())),
+      trace_(ambient_trace()) {}
 
 void network::send(message m) {
   if (!topo_.has_edge(m.from, m.to))
     throw error("network::send on nonexistent link " + std::to_string(m.from) + "->" +
                 std::to_string(m.to));
+  if (m.bits == 0 && !m.payload.empty())
+    throw error("network::send of nonempty payload with bits == 0 on " +
+                std::to_string(m.from) + "->" + std::to_string(m.to) +
+                " (zero-bit messages model absent/default values and must be empty)");
   step_bits_[link_index(m.from, m.to)] += m.bits;
   if (trace_ != nullptr) trace_->record(steps_, m.from, m.to, m.tag, m.bits);
   pending_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
@@ -36,10 +42,15 @@ double network::end_step() {
   for (const graph::edge& e : topo_.edges()) {
     const std::uint64_t bits = step_bits_[link_index(e.from, e.to)];
     if (bits == 0) continue;
+    // digraph::add_edge rejects cap <= 0, so every active link divides
+    // cleanly; the assert guards against a future zero-capacity edge
+    // representation silently producing an infinite tau.
+    NAB_ASSERT(e.cap > 0, "link with zero capacity carried traffic");
     duration = std::max(duration, static_cast<double>(bits) / static_cast<double>(e.cap));
     lifetime_bits_[link_index(e.from, e.to)] += bits;
     total_bits_ += bits;
   }
+  NAB_ASSERT(std::isfinite(duration), "step duration tau must be finite");
   std::fill(step_bits_.begin(), step_bits_.end(), 0);
   for (std::size_t v = 0; v < pending_.size(); ++v) {
     inboxes_[v] = std::move(pending_[v]);

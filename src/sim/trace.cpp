@@ -24,6 +24,18 @@ bool trace::used(graph::node_id from, graph::node_id to) const {
   return false;
 }
 
+namespace {
+thread_local trace* ambient = nullptr;
+}  // namespace
+
+trace* ambient_trace() { return ambient; }
+
+scoped_ambient_trace::scoped_ambient_trace(trace* t) : previous_(ambient) {
+  ambient = t;
+}
+
+scoped_ambient_trace::~scoped_ambient_trace() { ambient = previous_; }
+
 std::string trace::dump() const {
   std::ostringstream out;
   for (const trace_event& e : events_)

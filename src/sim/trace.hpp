@@ -47,4 +47,24 @@ class trace {
   std::vector<trace_event> events_;
 };
 
+/// The calling thread's ambient trace (nullptr when none is installed).
+/// Networks constructed on a thread attach its ambient trace automatically,
+/// so instrumentation reaches the networks a `core::session` creates
+/// internally — per-thread, which keeps fleet shards running in parallel
+/// fully independent (no shared observer, no data races).
+trace* ambient_trace();
+
+/// Installs `t` as the calling thread's ambient trace for the lifetime of
+/// the scope; restores the previous one on destruction. Scopes nest.
+class scoped_ambient_trace {
+ public:
+  explicit scoped_ambient_trace(trace* t);
+  ~scoped_ambient_trace();
+  scoped_ambient_trace(const scoped_ambient_trace&) = delete;
+  scoped_ambient_trace& operator=(const scoped_ambient_trace&) = delete;
+
+ private:
+  trace* previous_;
+};
+
 }  // namespace nab::sim

@@ -99,6 +99,40 @@ TEST(Generators, PathOfCliquesHopCount) {
   EXPECT_GE(broadcast_mincut(g, 0), 1);
 }
 
+TEST(Generators, HypercubeHasDimConnectivityAndDegree) {
+  const digraph g = hypercube(3, 2);
+  EXPECT_EQ(g.universe(), 8);
+  for (node_id v = 0; v < 8; ++v)
+    EXPECT_EQ(g.out_neighbors(v).size(), 3u) << v;
+  for (const edge& e : g.edges()) {
+    EXPECT_EQ(e.cap, 2);
+    const int diff = e.from ^ e.to;
+    EXPECT_EQ(diff & (diff - 1), 0) << "non-hypercube edge";  // power of two
+  }
+  EXPECT_EQ(global_vertex_connectivity(g), 3);
+}
+
+TEST(Generators, ClusteredWanShapeAndTrunkCapacities) {
+  const digraph g = clustered_wan(3, 3, 4, 1, 2);
+  EXPECT_EQ(g.universe(), 9);
+  // Intra-cluster links are fat, inter-cluster links thin.
+  for (const edge& e : g.edges()) {
+    const bool same_cluster = e.from / 3 == e.to / 3;
+    EXPECT_EQ(e.cap, same_cluster ? 4 : 1) << e.from << "->" << e.to;
+  }
+  // Every cluster pair is joined by at least one trunk.
+  for (int a = 0; a < 3; ++a)
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      bool linked = false;
+      for (const edge& e : g.edges())
+        linked = linked || (e.from / 3 == a && e.to / 3 == b);
+      EXPECT_TRUE(linked) << "clusters " << a << "," << b;
+    }
+  // Feasible for f = 1 (the registry's clustered-wan preset relies on it).
+  EXPECT_GE(global_vertex_connectivity(g), 3);
+}
+
 TEST(Generators, DotOutputMentionsAllEdges) {
   const digraph g = paper_fig2();
   const std::string dot = to_dot(g, {2});

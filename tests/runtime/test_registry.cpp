@@ -1,0 +1,106 @@
+#include "runtime/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace nab::runtime {
+namespace {
+
+std::vector<scenario> all_scenarios() { return select_scenarios("all"); }
+
+TEST(Registry, CatalogIsLargeEnoughForTheSweepContract) {
+  // The acceptance bar: a sweep of >= 20 distinct scenario configurations.
+  EXPECT_GE(all_scenarios().size(), 20u);
+  EXPECT_GE(registry().size(), 10u);
+}
+
+TEST(Registry, FamilyNamesAndScenarioNamesAreUnique) {
+  std::set<std::string> family_names;
+  for (const scenario_family& fam : registry())
+    EXPECT_TRUE(family_names.insert(fam.name).second) << fam.name;
+  std::set<std::string> names;
+  for (const scenario& s : all_scenarios())
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate scenario " << s.name;
+}
+
+TEST(Registry, SelectByNameMatchesExpandAndRejectsUnknown) {
+  const scenario_family* fam = find_family("complete");
+  ASSERT_NE(fam, nullptr);
+  EXPECT_EQ(select_scenarios("complete"), fam->expand());
+  // Comma lists concatenate in order.
+  const auto both = select_scenarios("fig1,fig2");
+  EXPECT_EQ(both.size(),
+            find_family("fig1")->expand().size() + find_family("fig2")->expand().size());
+  EXPECT_THROW(select_scenarios("no-such-family"), nab::error);
+  EXPECT_EQ(find_family("no-such-family"), nullptr);
+}
+
+TEST(Registry, EveryScenarioRoundTripsThroughParams) {
+  for (const scenario& s : all_scenarios()) {
+    const auto params = scenario_to_params(s);
+    const scenario back = scenario_from_params(params);
+    EXPECT_EQ(back, s) << s.name;
+  }
+}
+
+TEST(Registry, FromParamsRejectsMissingAndMalformedKeys) {
+  auto params = scenario_to_params(all_scenarios().front());
+  auto missing = params;
+  missing.erase("topology");
+  EXPECT_THROW(scenario_from_params(missing), nab::error);
+  auto bad = params;
+  bad["adversary"] = "quantum";
+  EXPECT_THROW(scenario_from_params(bad), nab::error);
+  auto bad_number = params;
+  bad_number["n"] = "abc";
+  EXPECT_THROW(scenario_from_params(bad_number), nab::error);
+  auto huge = params;
+  huge["cap_lo"] = "99999999999999999999999999";
+  EXPECT_THROW(scenario_from_params(huge), nab::error);
+}
+
+TEST(Registry, EnumStringsRoundTrip) {
+  for (auto k : {topology_kind::complete, topology_kind::fig1a, topology_kind::fig1b,
+                 topology_kind::fig2, topology_kind::ring, topology_kind::erdos_renyi,
+                 topology_kind::random_regular, topology_kind::hypercube,
+                 topology_kind::clustered_wan, topology_kind::dumbbell,
+                 topology_kind::weak_link, topology_kind::path_of_cliques})
+    EXPECT_EQ(topology_kind_from_string(to_string(k)), k);
+  for (auto k : {adversary_kind::honest, adversary_kind::p1_garble,
+                 adversary_kind::equivocate, adversary_kind::p2_lie,
+                 adversary_kind::false_flag, adversary_kind::stealth,
+                 adversary_kind::dispute_farm, adversary_kind::chaos})
+    EXPECT_EQ(adversary_kind_from_string(to_string(k)), k);
+}
+
+TEST(Registry, TopologyNodesMatchesBuiltGraph) {
+  rng rand(7);
+  for (const scenario& s : all_scenarios()) {
+    const graph::digraph g = build_topology(s.topology, rand);
+    EXPECT_EQ(g.universe(), topology_nodes(s.topology)) << s.name;
+  }
+}
+
+TEST(Registry, PresetTopologiesSupportTheirFaultBudgets) {
+  // Deterministic presets must satisfy n >= 3f+1 and connectivity >= 2f+1
+  // outright; random presets get the runner's reseed loop, so they are only
+  // required to declare feasible parameters (d >= 2f+1 etc.).
+  rng rand(11);
+  for (const scenario& s : all_scenarios()) {
+    if (s.topology.kind == topology_kind::erdos_renyi ||
+        s.topology.kind == topology_kind::random_regular)
+      continue;
+    const graph::digraph g = build_topology(s.topology, rand);
+    EXPECT_GE(g.universe(), 3 * s.f + 1) << s.name;
+    if (s.f > 0)
+      EXPECT_GE(graph::global_vertex_connectivity(g), 2 * s.f + 1) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace nab::runtime

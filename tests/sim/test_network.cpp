@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/generators.hpp"
 #include "util/error.hpp"
 
@@ -82,6 +84,26 @@ TEST(Network, EmptyStepTakesNoTime) {
   network net = make_line();
   EXPECT_DOUBLE_EQ(net.end_step(), 0.0);
   EXPECT_EQ(net.steps(), 1);
+}
+
+TEST(Network, ZeroBitMessagesMustHaveEmptyPayloads) {
+  // Zero-bit sends model absent/default-value control messages; smuggling a
+  // nonempty payload for free would break the capacity accounting, so the
+  // documented precondition is enforced.
+  network net = make_line();
+  net.send({0, 1, 0, {}, 0});  // empty zero-bit control message: allowed
+  EXPECT_THROW(net.send({0, 1, 0, {0xDEAD}, 0}), nab::error);
+  EXPECT_DOUBLE_EQ(net.end_step(), 0.0);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].bits, 0u);
+}
+
+TEST(Network, StepDurationStaysFiniteUnderLoad) {
+  network net = make_line();
+  net.send({0, 1, 0, {}, ~std::uint64_t{0} >> 12});
+  const double tau = net.end_step();
+  EXPECT_TRUE(std::isfinite(tau));
+  EXPECT_GT(tau, 0.0);
 }
 
 TEST(Network, TopologyRespectsGraphGenerators) {

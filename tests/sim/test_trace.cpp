@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "graph/generators.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/tree_packing.hpp"
@@ -54,6 +56,42 @@ TEST(Trace, DumpIsHumanReadable) {
   const std::string dump = t.dump();
   EXPECT_NE(dump.find("0->1"), std::string::npos);
   EXPECT_NE(dump.find("bits=16"), std::string::npos);
+}
+
+TEST(Trace, AmbientTraceAttachesToNewNetworksOnThisThread) {
+  EXPECT_EQ(ambient_trace(), nullptr);
+  trace t;
+  {
+    scoped_ambient_trace scope(&t);
+    EXPECT_EQ(ambient_trace(), &t);
+    network net{graph::paper_fig1a()};  // constructed inside the scope
+    net.send({0, 1, 0, {}, 8});
+    net.end_step();
+    EXPECT_EQ(t.events().size(), 1u);
+    // Scopes nest and restore.
+    trace inner;
+    {
+      scoped_ambient_trace nested(&inner);
+      EXPECT_EQ(ambient_trace(), &inner);
+    }
+    EXPECT_EQ(ambient_trace(), &t);
+  }
+  EXPECT_EQ(ambient_trace(), nullptr);
+  // Networks constructed outside any scope stay untraced.
+  network quiet{graph::paper_fig1a()};
+  quiet.send({0, 1, 0, {}, 8});
+  quiet.end_step();
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(Trace, AmbientTraceIsThreadLocal) {
+  trace mine;
+  scoped_ambient_trace scope(&mine);
+  trace* seen_on_other_thread = &mine;
+  std::thread other([&] { seen_on_other_thread = ambient_trace(); });
+  other.join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(ambient_trace(), &mine);
 }
 
 TEST(Trace, Phase1UsesOnlyTreeEdges) {
