@@ -21,8 +21,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "core/omega_cache.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -110,15 +113,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed));
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto records = run_sweep(sweep, seed, jobs, [&](const run_record& r) {
-      if (quiet) return;
-      std::printf("  [%3d] %-46s thpt=%8.3f disputes=%d convicted=%d %s\n",
-                  r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
-                  r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
-    });
+    std::vector<double> run_walls;
+    const auto records = run_sweep(
+        sweep, seed, jobs,
+        [&](const run_record& r) {
+          if (quiet) return;
+          std::printf("  [%3d] %-46s thpt=%8.3f disputes=%d convicted=%d %s\n",
+                      r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
+                      r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
+        },
+        &run_walls);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+
+    std::map<std::string, double> family_walls;
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+      family_walls[sweep[i].family] += run_walls[i];
 
     const sweep_summary s = summarize(records);
     std::printf(
@@ -126,9 +137,17 @@ int main(int argc, char** argv) {
         "min/mean/max = %.3f/%.3f/%.3f, wall %.2fs\n",
         s.runs, s.total_instances, s.total_dispute_phases, s.min_throughput,
         s.mean_throughput, s.max_throughput, wall);
+    const auto cache = nab::core::omega_cache::instance().stats();
+    std::printf(
+        "fleet: omega_cache %llu/%llu analysis hits, %llu/%llu phase-1 plan hits\n",
+        static_cast<unsigned long long>(cache.analysis_hits),
+        static_cast<unsigned long long>(cache.analysis_hits + cache.analysis_misses),
+        static_cast<unsigned long long>(cache.plan_hits),
+        static_cast<unsigned long long>(cache.plan_hits + cache.plan_misses));
 
     if (json_path != "-") {
-      write_json_file(json_path, sweep_document(names, seed, jobs, records, wall));
+      write_json_file(json_path,
+                      sweep_document(names, seed, jobs, records, wall, &family_walls));
       std::printf("fleet: wrote %s\n", json_path.c_str());
     }
 

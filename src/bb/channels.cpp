@@ -9,17 +9,14 @@
 
 namespace nab::bb {
 
-channel_plan::channel_plan(const graph::digraph& g, int f)
-    : topo_(g),
-      f_(f),
-      routes_(static_cast<std::size_t>(g.universe()) * g.universe()),
-      inboxes_(static_cast<std::size_t>(g.universe())) {
+channel_plan::route_table channel_plan::build_routes(const graph::digraph& g, int f) {
   NAB_ASSERT(f >= 0, "fault budget must be non-negative");
+  route_table routes(static_cast<std::size_t>(g.universe()) * g.universe());
   const auto nodes = g.active_nodes();
   for (graph::node_id u : nodes)
     for (graph::node_id v : nodes) {
       if (u == v) continue;
-      auto& route_set = routes_[pair_index(u, v)];
+      auto& route_set = routes[static_cast<std::size_t>(u) * g.universe() + v];
       if (g.has_edge(u, v)) {
         route_set = {{u, v}};
         continue;
@@ -33,11 +30,28 @@ channel_plan::channel_plan(const graph::digraph& g, int f)
                     std::to_string(v) + ") lacks 2f+1 disjoint paths: " + e.what());
       }
     }
+  return routes;
+}
+
+channel_plan::channel_plan(const graph::digraph& g, int f)
+    : channel_plan(g, f,
+                   std::make_shared<const route_table>(build_routes(g, f))) {}
+
+channel_plan::channel_plan(const graph::digraph& g, int f,
+                           std::shared_ptr<const route_table> routes)
+    : topo_(g),
+      f_(f),
+      routes_(std::move(routes)),
+      inboxes_(static_cast<std::size_t>(g.universe())) {
+  NAB_ASSERT(routes_ != nullptr &&
+                 routes_->size() ==
+                     static_cast<std::size_t>(g.universe()) * g.universe(),
+             "channel_plan route table does not match the topology");
 }
 
 void channel_plan::unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
                            std::vector<std::uint64_t> payload, std::uint64_t bits) {
-  NAB_ASSERT(!routes_[pair_index(from, to)].empty(),
+  NAB_ASSERT(!(*routes_)[pair_index(from, to)].empty(),
              "unicast between nodes with no planned route");
   queued_.push_back({from, to, tag, std::move(payload), bits});
 }
@@ -47,7 +61,14 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
   for (auto& box : inboxes_) box.clear();
 
   for (sim::message& m : queued_) {
-    const auto& route_set = routes_[pair_index(m.from, m.to)];
+    const auto& route_set = (*routes_)[pair_index(m.from, m.to)];
+    // Fast path: a single direct link has no interior relays to tamper and
+    // is its own majority — charge it and deliver the payload by move.
+    if (route_set.size() == 1 && route_set.front().size() == 2) {
+      net.charge(m.from, m.to, m.bits);
+      inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+      continue;
+    }
     // Charge every link of every route; collect one copy per route.
     std::vector<std::vector<std::uint64_t>> copies;
     copies.reserve(route_set.size());
@@ -89,7 +110,7 @@ const std::vector<sim::message>& channel_plan::inbox(graph::node_id v) const {
 
 const std::vector<std::vector<graph::node_id>>& channel_plan::routes(
     graph::node_id from, graph::node_id to) const {
-  return routes_[pair_index(from, to)];
+  return (*routes_)[pair_index(from, to)];
 }
 
 }  // namespace nab::bb

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -44,9 +45,23 @@ class relay_adversary {
 /// (cut-through); see DESIGN.md §2.
 class channel_plan {
  public:
+  /// routes[from * n + to]: one single-link route or 2f+1 node-disjoint
+  /// paths, each a full node sequence.
+  using route_table = std::vector<std::vector<std::vector<graph::node_id>>>;
+
   /// Builds routes for every ordered pair of active nodes. Throws nab::error
   /// if some pair admits neither a direct link nor 2f+1 disjoint paths.
   channel_plan(const graph::digraph& g, int f);
+
+  /// Uses a precomputed (immutable, shareable) route table — routes are a
+  /// pure function of (g, f), so core::omega_cache memoizes them across the
+  /// sessions of a sweep. Precondition: `routes` was built by build_routes
+  /// for exactly this (g, f).
+  channel_plan(const graph::digraph& g, int f,
+               std::shared_ptr<const route_table> routes);
+
+  /// The route-construction half of the constructor, exposed for caching.
+  static route_table build_routes(const graph::digraph& g, int f);
 
   /// Queues a logical unicast for the current round.
   void unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
@@ -74,7 +89,7 @@ class channel_plan {
  private:
   graph::digraph topo_;
   int f_;
-  std::vector<std::vector<std::vector<graph::node_id>>> routes_;  // [from*n+to]
+  std::shared_ptr<const route_table> routes_;  // immutable, possibly shared
   std::vector<sim::message> queued_;
   std::vector<std::vector<sim::message>> inboxes_;
 

@@ -60,16 +60,17 @@ coded_symbols coding_scheme::encode(const value_vector& x, graph::node_id u,
   out.count = static_cast<int>(ce.cols());
   out.slices = x.slices();
   out.words.assign(static_cast<std::size_t>(out.count) * out.slices, 0);
-  using F = gf::gf2_16;
-  for (int k = 0; k < out.count; ++k)
-    for (int s = 0; s < x.rho(); ++s) {
-      const word c = ce.at(static_cast<std::size_t>(s), static_cast<std::size_t>(k));
-      if (c == 0) continue;
-      for (int t = 0; t < x.slices(); ++t) {
-        word& acc = out.words[static_cast<std::size_t>(k) * out.slices + t];
-        acc = F::add(acc, F::mul(c, x.symbol(s, t)));
-      }
-    }
+  // Coded symbol k is sum_s C_e(s, k) * symbol s; value storage is
+  // symbol-major, so each term is one batched axpy over the slice run.
+  const std::size_t slices = static_cast<std::size_t>(x.slices());
+  const word* xw = x.words().data();
+  for (int k = 0; k < out.count; ++k) {
+    word* dst = out.words.data() + static_cast<std::size_t>(k) * slices;
+    for (int s = 0; s < x.rho(); ++s)
+      gf::gf2_16::axpy(dst, xw + static_cast<std::size_t>(s) * slices,
+                       ce.at(static_cast<std::size_t>(s), static_cast<std::size_t>(k)),
+                       slices);
+  }
   return out;
 }
 

@@ -64,18 +64,54 @@ std::vector<std::vector<graph::node_id>> omega_subgraphs(const graph::digraph& g
   return out;
 }
 
-graph::capacity_t compute_uk(const graph::digraph& g, int f,
-                             const dispute_record& disputes) {
-  const auto subgraphs = omega_subgraphs(g, f, disputes);
-  if (subgraphs.empty()) return 0;
+namespace {
+
+/// Is the subgraph of `u` induced by `h` connected? A plain BFS — orders of
+/// magnitude cheaper than any min-cut, and a disconnected H pins U_k to 0.
+bool induced_connected(const graph::ugraph& u, const std::vector<graph::node_id>& h) {
+  if (h.size() <= 1) return true;
+  std::vector<graph::node_id> stack = {h.front()};
+  std::vector<bool> seen(static_cast<std::size_t>(u.universe()), false);
+  seen[static_cast<std::size_t>(h.front())] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const graph::node_id v = stack.back();
+    stack.pop_back();
+    for (graph::node_id w : h) {
+      if (seen[static_cast<std::size_t>(w)] || u.weight(v, w) == 0) continue;
+      seen[static_cast<std::size_t>(w)] = true;
+      ++reached;
+      stack.push_back(w);
+    }
+  }
+  return reached == h.size();
+}
+
+}  // namespace
+
+graph::capacity_t compute_uk(const graph::digraph& g,
+                             const std::vector<std::vector<graph::node_id>>& omega) {
+  if (omega.empty()) return 0;
   const graph::ugraph u = to_undirected(g);
   graph::capacity_t best = -1;
-  for (const auto& h : subgraphs) {
-    const graph::capacity_t cut =
-        h.size() < 2 ? 0 : graph::pairwise_min_cut(u.induced(h));
+  for (const auto& h : omega) {
+    if (h.size() < 2) return 0;
+    if (!induced_connected(u, h)) return 0;  // cut 0: nothing can be smaller
+    // Per-H minimum pair cut via Stoer–Wagner. A Gomory–Hu-tree query
+    // (gomory_hu_tree(u.induced(h)).minimum_pair_cut()) answers the same
+    // question but measured 3-12x slower across every registry topology —
+    // Gusfield's |H|-1 max-flows lose to one dense O(|H|^3) pass at these
+    // sizes — so the tree stays on the per-pair reporting path only (see
+    // docs/PAPER_MAP.md, "Choice of rho_k").
+    const graph::capacity_t cut = graph::pairwise_min_cut(u.induced(h));
     if (best < 0 || cut < best) best = cut;
   }
   return best < 0 ? 0 : best;
+}
+
+graph::capacity_t compute_uk(const graph::digraph& g, int f,
+                             const dispute_record& disputes) {
+  return compute_uk(g, omega_subgraphs(g, f, disputes));
 }
 
 graph::capacity_t compute_rho(graph::capacity_t uk) {

@@ -47,8 +47,19 @@ std::vector<std::vector<graph::node_id>> omega_subgraphs(const graph::digraph& g
 /// U_k = min over H in Omega_k of the pairwise min cut of the undirected
 /// version of H (Section 3, "Choice of Parameter rho_k"). Returns 0 when
 /// Omega_k is empty or some H is disconnected.
+///
+/// Each H gets a cheap BFS connectivity pre-check first — a disconnected H
+/// short-circuits the whole minimum to 0 without running any min-cut on the
+/// remaining subgraphs. Connected ones run Stoer–Wagner (measured faster
+/// than a Gomory–Hu-tree query at registry sizes; see compute_uk in
+/// omega.cpp). Sweeps share results via core::omega_cache.
 graph::capacity_t compute_uk(const graph::digraph& g, int f,
                              const dispute_record& disputes);
+
+/// Same minimum over an already-enumerated Omega_k (the omega_cache layer
+/// computes the enumeration once and derives U_k from it).
+graph::capacity_t compute_uk(const graph::digraph& g,
+                             const std::vector<std::vector<graph::node_id>>& omega);
 
 /// rho_k = max(U_k / 2, 1): the paper requires rho_k <= U_k / 2 and
 /// minimizes Equality Check time at equality; the floor at 1 keeps the

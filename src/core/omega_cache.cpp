@@ -1,0 +1,169 @@
+#include "core/omega_cache.hpp"
+
+#include <mutex>
+
+#include "graph/connectivity.hpp"
+#include "graph/maxflow.hpp"
+
+namespace nab::core {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fingerprint_words(const std::vector<std::int64_t>& words) {
+  std::uint64_t h = 0x6f6d6567615f6bULL;  // "omega_k"
+  for (std::int64_t w : words) h = mix64(h ^ static_cast<std::uint64_t>(w));
+  return h;
+}
+
+/// Canonical serialization of a digraph: universe, active flags, then the
+/// capacity of every ordered active pair. Two graphs serialize identically
+/// iff they are operator==-equal on every field the analyses depend on.
+void serialize_graph(const graph::digraph& g, std::vector<std::int64_t>& out) {
+  const int n = g.universe();
+  out.push_back(n);
+  for (graph::node_id v = 0; v < n; ++v) out.push_back(g.is_active(v) ? 1 : 0);
+  for (graph::node_id u = 0; u < n; ++u)
+    for (graph::node_id v = 0; v < n; ++v)
+      if (u != v) out.push_back(g.cap(u, v));
+}
+
+template <class V, class Table>
+std::shared_ptr<const V> find_entry(const Table& table, std::uint64_t fp,
+                                    const std::vector<std::int64_t>& key) {
+  const auto it = table.find(fp);
+  if (it == table.end()) return nullptr;
+  for (const auto& entry : it->second)
+    if (entry.key == key) return entry.value;
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const graph::digraph& g) {
+  std::vector<std::int64_t> words;
+  serialize_graph(g, words);
+  return fingerprint_words(words);
+}
+
+omega_cache& omega_cache::instance() {
+  static omega_cache cache;
+  return cache;
+}
+
+template <class V, class Compute>
+std::shared_ptr<const V> omega_cache::get_or_compute(
+    table<V>& tbl, canonical_key key, std::atomic<std::uint64_t>& hits,
+    std::atomic<std::uint64_t>& misses, const Compute& compute) {
+  const std::uint64_t fp = fingerprint_words(key);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (auto hit = find_entry<V>(tbl, fp, key)) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+  }
+
+  std::shared_ptr<const V> value = compute();
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  misses.fetch_add(1, std::memory_order_relaxed);
+  if (auto hit = find_entry<V>(tbl, fp, key)) return hit;
+  tbl[fp].push_back({std::move(key), value});
+  return value;
+}
+
+std::shared_ptr<const omega_analysis> omega_cache::analyze(
+    const graph::digraph& g, int f, const dispute_record& disputes) {
+  canonical_key key;
+  serialize_graph(g, key);
+  key.push_back(f);
+  // Convicted nodes are already inactive in g; only the pairs affect Omega_k.
+  for (const auto& [a, b] : disputes.pairs()) {
+    key.push_back(a);
+    key.push_back(b);
+  }
+  return get_or_compute(analyses_, std::move(key), analysis_hits_, analysis_misses_,
+                        [&] {
+                          auto value = std::make_shared<omega_analysis>();
+                          value->omega = omega_subgraphs(g, f, disputes);
+                          value->uk = compute_uk(g, value->omega);
+                          value->rho = compute_rho(value->uk);
+                          return value;
+                        });
+}
+
+std::shared_ptr<const phase1_plan> omega_cache::plan_for(const graph::digraph& g,
+                                                         graph::node_id source) {
+  canonical_key key;
+  serialize_graph(g, key);
+  key.push_back(source);
+  return get_or_compute(plans_, std::move(key), plan_hits_, plan_misses_, [&] {
+    auto value = std::make_shared<phase1_plan>();
+    value->gamma = graph::broadcast_mincut(g, source);
+    if (value->gamma >= 1)
+      value->trees =
+          graph::pack_arborescences(g, source, static_cast<int>(value->gamma));
+    return value;
+  });
+}
+
+bool omega_cache::connectivity_at_least(const graph::digraph& g, int k) {
+  canonical_key key;
+  serialize_graph(g, key);
+  key.push_back(k);
+  return *get_or_compute(connectivity_, std::move(key), connectivity_hits_,
+                         connectivity_misses_, [&] {
+                           return std::make_shared<int>(
+                               graph::global_vertex_connectivity_at_least(g, k) ? 1
+                                                                                : 0);
+                         }) != 0;
+}
+
+std::shared_ptr<const bb::channel_plan::route_table> omega_cache::channel_routes_for(
+    const graph::digraph& g, int f) {
+  canonical_key key;
+  serialize_graph(g, key);
+  key.push_back(f);
+  return get_or_compute(routes_, std::move(key), route_hits_, route_misses_, [&] {
+    return std::make_shared<const bb::channel_plan::route_table>(
+        bb::channel_plan::build_routes(g, f));
+  });
+}
+
+omega_cache_stats omega_cache::stats() const {
+  omega_cache_stats out;
+  out.analysis_hits = analysis_hits_.load(std::memory_order_relaxed);
+  out.analysis_misses = analysis_misses_.load(std::memory_order_relaxed);
+  out.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  out.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  out.connectivity_hits = connectivity_hits_.load(std::memory_order_relaxed);
+  out.connectivity_misses = connectivity_misses_.load(std::memory_order_relaxed);
+  out.route_hits = route_hits_.load(std::memory_order_relaxed);
+  out.route_misses = route_misses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void omega_cache::clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  analyses_.clear();
+  plans_.clear();
+  connectivity_.clear();
+  routes_.clear();
+  analysis_hits_ = 0;
+  analysis_misses_ = 0;
+  plan_hits_ = 0;
+  plan_misses_ = 0;
+  connectivity_hits_ = 0;
+  connectivity_misses_ = 0;
+  route_hits_ = 0;
+  route_misses_ = 0;
+}
+
+}  // namespace nab::core

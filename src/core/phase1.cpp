@@ -31,6 +31,9 @@ phase1_result run_phase1(sim::network& net, const graph::digraph& g,
                          const std::vector<graph::spanning_tree>& trees,
                          nab_adversary* adv, propagation_mode mode) {
   NAB_ASSERT(!trees.empty(), "phase 1 needs at least one arborescence");
+  NAB_ASSERT(mode != propagation_mode::pipelined,
+             "pipelined is a session-level schedule (core::run_pipelined), not a "
+             "phase-1 mode");
   const int universe = g.universe();
   const auto gamma = static_cast<int>(trees.size());
   const std::vector<chunk> shares = split_into_chunks(input, gamma);

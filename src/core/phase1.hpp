@@ -19,6 +19,13 @@ enum class propagation_mode {
   /// it, so Phase 1 spans depth * L/gamma_k. This is the regime Appendix D's
   /// pipelining (Figure 3) fixes; bench E7 contrasts the two.
   store_and_forward,
+  /// Appendix D's pipelined schedule: store-and-forward hops, but instance i
+  /// enters the pipe in round i so a new instance completes every round at
+  /// steady state. This is a whole-session schedule, not a per-phase one —
+  /// sessions are executed by core::run_pipelined (fault-free regime), and
+  /// run_phase1 rejects it. Exists as an enumerator so the runtime registry
+  /// can expose pipelined-vs-plain as one propagation axis.
+  pipelined,
 };
 
 /// Result of the unreliable broadcast.

@@ -7,6 +7,7 @@
 #include "core/coding.hpp"
 #include "core/equality_check.hpp"
 #include "core/omega.hpp"
+#include "core/omega_cache.hpp"
 #include "core/phase1.hpp"
 #include "core/value.hpp"
 #include "graph/maxflow.hpp"
@@ -71,13 +72,14 @@ pipeline_stats run_pipelined(const pipeline_config& cfg, int q, std::size_t word
   const int universe = g.universe();
   const sim::fault_set faults(universe);  // Appendix D regime: fault-free
 
-  const auto gamma = graph::broadcast_mincut(g, cfg.source);
+  const auto plan = omega_cache::instance().plan_for(g, cfg.source);
+  const auto gamma = plan->gamma;
   if (gamma < 1) throw error("pipeline: source cannot reach every node");
-  const auto trees = graph::pack_arborescences(g, cfg.source, static_cast<int>(gamma));
+  const std::vector<graph::spanning_tree>& trees = plan->trees;
   const level_schedule sched = schedule_trees(trees, cfg.source, universe);
 
-  const auto uk = compute_uk(g, cfg.f, dispute_record{});
-  const auto rho = compute_rho(uk);
+  const auto analysis = omega_cache::instance().analyze(g, cfg.f, dispute_record{});
+  const auto rho = analysis->rho;
   const coding_scheme coding =
       coding_scheme::generate(g, static_cast<int>(rho), cfg.coding_seed);
 
@@ -95,10 +97,13 @@ pipeline_stats run_pipelined(const pipeline_config& cfg, int q, std::size_t word
       16 * split_into_chunks(inputs[0], static_cast<int>(gamma))[0].size();
 
   sim::network net(g);
-  bb::channel_plan channels(g, cfg.f);
+  bb::channel_plan channels(g, cfg.f,
+                            omega_cache::instance().channel_routes_for(g, cfg.f));
 
   pipeline_stats stats;
   stats.instances = q;
+  stats.gamma = gamma;
+  stats.rho = rho;
   stats.depth = sched.depth;
   stats.bits = static_cast<std::uint64_t>(q) * 16 * words;
 

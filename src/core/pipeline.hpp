@@ -19,6 +19,8 @@ struct pipeline_config {
 /// Outcome of a pipelined run.
 struct pipeline_stats {
   int instances = 0;
+  graph::capacity_t gamma = 0;  ///< gamma of the (static) instance graph
+  graph::capacity_t rho = 0;    ///< rho = max(U/2, 1) used by Equality Check
   int depth = 0;              ///< pipe depth = max arborescence depth (hops)
   double elapsed = 0.0;       ///< total simulated time for all instances
   double sequential = 0.0;    ///< time the same Q instances take WITHOUT pipelining

@@ -16,10 +16,14 @@ namespace nab::core {
 session::session(session_config cfg, const sim::fault_set& faults, nab_adversary* adv)
     : cfg_(std::move(cfg)), faults_(faults), adv_(adv), gk_(cfg_.g) {
   const int n = cfg_.g.universe();
+  if (cfg_.propagation == propagation_mode::pipelined)
+    throw error("session: pipelined propagation is a whole-session schedule — "
+                "use core::run_pipelined");
   if (n < 3 * cfg_.f + 1)
     throw error("session: n >= 3f+1 required (n=" + std::to_string(n) +
                 ", f=" + std::to_string(cfg_.f) + ")");
-  if (cfg_.f > 0 && graph::global_vertex_connectivity(cfg_.g) < 2 * cfg_.f + 1)
+  if (cfg_.f > 0 &&
+      !omega_cache::instance().connectivity_at_least(cfg_.g, 2 * cfg_.f + 1))
     throw error("session: network connectivity must be at least 2f+1");
   NAB_ASSERT(cfg_.g.is_active(cfg_.source), "source must exist in G");
   NAB_ASSERT(faults_.universe() == n, "fault set universe mismatch");
@@ -29,34 +33,28 @@ session::session(session_config cfg, const sim::fault_set& faults, nab_adversary
 void session::refresh_graph_state() {
   if (!dirty_) return;
   per_source_.clear();
-  uk_ = compute_uk(gk_, cfg_.f, record_);
-  rho_ = compute_rho(uk_);
+  analysis_ = omega_cache::instance().analyze(gk_, cfg_.f, record_);
+  uk_ = analysis_->uk;
+  rho_ = analysis_->rho;
 
   // Generate (and, if asked, certify) the shared coding matrices. Theorem 1
   // makes failure vanishingly unlikely; regeneration with a fresh seed is
   // the correct response when it does happen. When the rank checks would be
   // prohibitively large (rho_k scales with link capacities) we trust the
-  // theorem instead of certifying.
+  // theorem instead of certifying. certify_cost_estimate mirrors the
+  // batched certifier's dense/sparse dispatch, so the gate prices the path
+  // that will actually run.
   bool certify = cfg_.certify;
-  if (certify) {
-    const auto omega = omega_subgraphs(gk_, cfg_.f, record_);
-    std::uint64_t cost = 0;
-    for (const auto& h : omega) {
-      if (h.size() <= 1) continue;
-      const std::uint64_t rows = (h.size() - 1) * static_cast<std::uint64_t>(rho_);
-      std::uint64_t cols = 0;
-      for (const graph::edge& e : gk_.induced(h).edges())
-        cols += static_cast<std::uint64_t>(e.cap);
-      cost += rows * rows * cols;
-    }
-    if (cost > cfg_.certify_cost_limit) certify = false;
-  }
+  if (certify &&
+      certify_cost_estimate(gk_, analysis_->omega, static_cast<int>(rho_)) >
+          cfg_.certify_cost_limit)
+    certify = false;
   for (int attempt = 0;; ++attempt) {
     coding_ = coding_scheme::generate(gk_, static_cast<int>(rho_),
                                       cfg_.coding_seed + coding_generation_);
     ++coding_generation_;
     if (!certify) break;
-    if (certify_coding(gk_, cfg_.f, record_, coding_).ok) break;
+    if (certify_coding_batched(gk_, cfg_.f, record_, coding_).ok) break;
     if (attempt >= 8)
       throw error("session: failed to certify coding matrices after 8 seeds — "
                   "U_k is likely too small for rho_k (see DESIGN.md §8)");
@@ -64,15 +62,15 @@ void session::refresh_graph_state() {
   dirty_ = false;
 }
 
-session::source_state& session::source_state_for(graph::node_id source) {
+const phase1_plan& session::source_state_for(graph::node_id source) {
   refresh_graph_state();
   auto it = per_source_.find(source);
-  if (it != per_source_.end()) return it->second;
-  source_state st;
-  st.gamma = graph::broadcast_mincut(gk_, source);
-  NAB_ASSERT(st.gamma >= 1, "instance graph lost connectivity from the source");
-  st.trees = graph::pack_arborescences(gk_, source, static_cast<int>(st.gamma));
-  return per_source_.emplace(source, std::move(st)).first->second;
+  if (it == per_source_.end()) {
+    auto plan = omega_cache::instance().plan_for(gk_, source);
+    NAB_ASSERT(plan->gamma >= 1, "instance graph lost connectivity from the source");
+    it = per_source_.emplace(source, std::move(plan)).first;
+  }
+  return *it->second;
 }
 
 bb::channel_plan& session::ensure_channels() {
@@ -81,7 +79,9 @@ bb::channel_plan& session::ensure_channels() {
   // connectivity >= 2f+1 guarantees the complete-graph emulation — G_k may
   // lose that property as disputed edges are dropped. Instance data phases
   // (1 and 2.1) remain restricted to G_k.
-  if (!channels_) channels_.emplace(cfg_.g, cfg_.f);
+  if (!channels_)
+    channels_.emplace(cfg_.g, cfg_.f,
+                      omega_cache::instance().channel_routes_for(cfg_.g, cfg_.f));
   return *channels_;
 }
 
@@ -115,7 +115,7 @@ instance_report session::run_instance(const std::vector<word>& input,
     return report;
   }
 
-  const source_state& st = source_state_for(source);
+  const phase1_plan& st = source_state_for(source);
   report.active_nodes = gk_.active_count();
   report.gamma = st.gamma;
   report.uk = uk_;

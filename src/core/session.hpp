@@ -12,6 +12,7 @@
 #include "core/dispute.hpp"
 #include "core/equality_check.hpp"
 #include "core/omega.hpp"
+#include "core/omega_cache.hpp"
 #include "core/phase1.hpp"
 #include "graph/digraph.hpp"
 #include "sim/faults.hpp"
@@ -27,10 +28,13 @@ struct session_config {
   std::uint64_t coding_seed = 0x5eed;///< seed for the shared coding matrices
   bool certify = true;               ///< certify Theorem-1 condition, regenerating on failure
   /// Certification is skipped (trusting Theorem 1's probabilistic guarantee)
-  /// when the estimated GF-operation count of the rank checks exceeds this —
-  /// on high-capacity networks rho_k grows with link capacities and exact
-  /// certification becomes a one-off multi-second computation.
-  std::uint64_t certify_cost_limit = 200'000'000;
+  /// when certify_cost_estimate exceeds this — on high-capacity networks
+  /// rho_k grows with link capacities and exact certification becomes a
+  /// one-off multi-second computation. The default admits K_16-class
+  /// topologies (~0.6G ops at f = 2, ~0.3 s with the batched GF kernels);
+  /// the seed's 200M limit was calibrated to the 3x-slower pre-axpy
+  /// elimination and silently skipped them.
+  std::uint64_t certify_cost_limit = 1'000'000'000;
   propagation_mode propagation = propagation_mode::cut_through;
   /// Classical-BB engine for the step-2.2 flag broadcast. auto_select uses
   /// phase-king when the participant count allows (> 4f), else EIG; the
@@ -119,15 +123,11 @@ class session {
   graph::capacity_t next_rho();
 
  private:
-  /// Per-source Phase-1 state (gamma_k and the arborescence packing depend
-  /// on who broadcasts; U_k / rho_k / coding do not).
-  struct source_state {
-    graph::capacity_t gamma = 0;
-    std::vector<graph::spanning_tree> trees;
-  };
-
   void refresh_graph_state();  // uk/rho/coding after G_k changed
-  source_state& source_state_for(graph::node_id source);
+  /// Per-source Phase-1 state (gamma_k and the arborescence packing depend
+  /// on who broadcasts; U_k / rho_k / coding do not) — served from the
+  /// process-wide omega_cache, shared read-only across sessions.
+  const phase1_plan& source_state_for(graph::node_id source);
   bb::channel_plan& ensure_channels();  // lazy, built once over the original G
 
   session_config cfg_;
@@ -137,12 +137,14 @@ class session {
   dispute_record record_;
   session_stats stats_;
 
-  // Cached per-G_k state.
+  // Cached per-G_k state. `analysis_` (Omega_k / U_k / rho_k) comes from the
+  // omega_cache; uk_/rho_ mirror it for the hot accessors.
   bool dirty_ = true;
+  std::shared_ptr<const omega_analysis> analysis_;
   graph::capacity_t uk_ = 0;
   graph::capacity_t rho_ = 0;
   coding_scheme coding_;
-  std::map<graph::node_id, source_state> per_source_;
+  std::map<graph::node_id, std::shared_ptr<const phase1_plan>> per_source_;
   std::optional<bb::channel_plan> channels_;
   std::uint64_t coding_generation_ = 0;
 };

@@ -1,64 +1,64 @@
 #include "gf/gf2_16.hpp"
 
-#include <vector>
-
 #include "util/assert.hpp"
 
 namespace nab::gf {
-namespace {
 
-struct tables {
-  std::vector<std::uint16_t> log;
-  std::vector<std::uint16_t> exp;  // doubled so mul can skip a modulo
+namespace detail {
 
-  tables() : log(65536), exp(131072) {
-    constexpr unsigned poly = 0x1100B;
-    unsigned x = 1;
-    for (unsigned i = 0; i < 65535; ++i) {
-      exp[i] = static_cast<std::uint16_t>(x);
-      exp[i + 65535] = static_cast<std::uint16_t>(x);
-      log[x] = static_cast<std::uint16_t>(i);
-      x <<= 1;
-      if (x & 0x10000) x ^= poly;
-    }
-    NAB_ASSERT(x == 1, "0x1100B must be primitive over GF(2^16)");
-    exp[131070] = exp[65535];
-    exp[131071] = exp[65536];
-  }
-};
+// Evaluated once, at compile time; constinit rules out any runtime
+// initialization-order hazard for other TUs' dynamic initializers.
+constinit const gf2_16_tables gf2_16_t{};
+static_assert(gf2_16_tables{}.primitive, "0x1100B must be primitive over GF(2^16)");
 
-const tables& t() {
-  static const tables instance;
-  return instance;
-}
-
-}  // namespace
-
-gf2_16::value_type gf2_16::mul(value_type a, value_type b) {
-  if (a == 0 || b == 0) return 0;
-  const auto& tab = t();
-  return tab.exp[static_cast<unsigned>(tab.log[a]) + tab.log[b]];
-}
+}  // namespace detail
 
 gf2_16::value_type gf2_16::inv(value_type a) {
   NAB_ASSERT(a != 0, "gf2_16::inv of zero");
-  const auto& tab = t();
+  const auto& tab = detail::gf2_16_t;
   return tab.exp[65535 - tab.log[a]];
 }
 
 gf2_16::value_type gf2_16::div(value_type a, value_type b) {
   NAB_ASSERT(b != 0, "gf2_16::div by zero");
   if (a == 0) return 0;
-  const auto& tab = t();
+  const auto& tab = detail::gf2_16_t;
   return tab.exp[static_cast<unsigned>(tab.log[a]) + 65535 - tab.log[b]];
 }
 
 gf2_16::value_type gf2_16::pow(value_type a, std::uint64_t e) {
   if (e == 0) return 1;
   if (a == 0) return 0;
-  const auto& tab = t();
+  const auto& tab = detail::gf2_16_t;
   const auto le = (static_cast<std::uint64_t>(tab.log[a]) * (e % 65535)) % 65535;
   return tab.exp[le];
+}
+
+void gf2_16::axpy(value_type* dst, const value_type* src, value_type coeff,
+                  std::size_t n) {
+  if (coeff == 0) return;
+  const auto& tab = detail::gf2_16_t;
+  const unsigned lc = tab.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const value_type s = src[i];
+    if (s == 0) continue;
+    dst[i] = static_cast<value_type>(dst[i] ^ tab.exp[lc + tab.log[s]]);
+  }
+}
+
+void gf2_16::scale(value_type* v, value_type coeff, std::size_t n) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = 0;
+    return;
+  }
+  const auto& tab = detail::gf2_16_t;
+  const unsigned lc = tab.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const value_type s = v[i];
+    if (s == 0) continue;
+    v[i] = tab.exp[lc + tab.log[s]];
+  }
 }
 
 }  // namespace nab::gf

@@ -1,8 +1,41 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace nab::gf {
+
+namespace detail {
+
+/// Log/antilog tables for GF(2^16) (128 KiB + 256 KiB), computed at compile
+/// time. exp is doubled (and padded) so mul can skip a modulo; the single
+/// constinit instance lives in gf2_16.cpp, so table access is a plain load —
+/// no initialization guard on any fast path.
+struct gf2_16_tables {
+  std::uint16_t log[65536];
+  std::uint16_t exp[131072];
+  bool primitive = false;
+
+  constexpr gf2_16_tables() : log(), exp() {
+    constexpr unsigned poly = 0x1100B;
+    unsigned x = 1;
+    for (unsigned i = 0; i < 65535; ++i) {
+      exp[i] = static_cast<std::uint16_t>(x);
+      exp[i + 65535] = static_cast<std::uint16_t>(x);
+      log[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000) x ^= poly;
+    }
+    primitive = x == 1;  // 0x1100B must be primitive over GF(2^16)
+    log[0] = 0;
+    exp[131070] = exp[65535];
+    exp[131071] = exp[65536];
+  }
+};
+
+extern const gf2_16_tables gf2_16_t;
+
+}  // namespace detail
 
 /// The finite field GF(2^16) with primitive polynomial
 /// x^16 + x^12 + x^3 + x + 1 (0x1100B) and generator alpha = 2.
@@ -10,8 +43,12 @@ namespace nab::gf {
 /// This is the default coefficient field for NAB's equality-check coding
 /// matrices: the paper draws coefficients from GF(2^{L/rho}); we draw them
 /// from GF(2^16) and apply them slice-wise to L/rho-bit symbols (the standard
-/// random-linear-network-coding realization — see DESIGN.md §2). Log/antilog
-/// tables (128 KiB + 64 KiB) are built on first use.
+/// random-linear-network-coding realization — see DESIGN.md §2).
+///
+/// Scalar ops are header-inline over compile-time tables; the row kernels
+/// (axpy/scale) additionally hoist the scalar's log lookup out of the loop —
+/// Gaussian elimination in gf/linalg.hpp, the batched certifier in
+/// core/certify.cpp, and core::coding_scheme::encode all run on them.
 class gf2_16 {
  public:
   using value_type = std::uint16_t;
@@ -28,7 +65,11 @@ class gf2_16 {
   static constexpr value_type sub(value_type a, value_type b) { return add(a, b); }
   static constexpr value_type neg(value_type a) { return a; }
 
-  static value_type mul(value_type a, value_type b);
+  static value_type mul(value_type a, value_type b) {
+    if (a == 0 || b == 0) return 0;
+    const auto& tab = detail::gf2_16_t;
+    return tab.exp[static_cast<unsigned>(tab.log[a]) + tab.log[b]];
+  }
 
   /// Multiplicative inverse. Precondition: a != 0.
   static value_type inv(value_type a);
@@ -37,6 +78,14 @@ class gf2_16 {
   static value_type div(value_type a, value_type b);
 
   static value_type pow(value_type a, std::uint64_t e);
+
+  /// dst[i] += coeff * src[i] for i in [0, n). The workhorse of row
+  /// elimination: one log lookup for the scalar, two table hits per element.
+  static void axpy(value_type* dst, const value_type* src, value_type coeff,
+                   std::size_t n);
+
+  /// v[i] *= coeff for i in [0, n).
+  static void scale(value_type* v, value_type coeff, std::size_t n);
 };
 
 }  // namespace nab::gf

@@ -55,6 +55,17 @@ class matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Contiguous storage of row r (rows are row-major) — the batched row
+  /// kernels (F::axpy / F::scale) operate directly on these.
+  value_type* row_ptr(std::size_t r) {
+    NAB_ASSERT(r < rows_, "matrix row out of range");
+    return data_.data() + r * cols_;
+  }
+  const value_type* row_ptr(std::size_t r) const {
+    NAB_ASSERT(r < rows_, "matrix row out of range");
+    return data_.data() + r * cols_;
+  }
+
   bool operator==(const matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
   }

@@ -11,23 +11,28 @@ namespace nab::graph {
 namespace {
 
 /// Builds the node-split graph: node v becomes v_in = 2v, v_out = 2v+1 with
-/// an internal arc of capacity 1 (except s, t which get "infinite" internal
-/// capacity); each original edge u->v becomes u_out -> v_in with capacity 1.
-/// Max-flow s_out -> t_in then counts internally node-disjoint paths.
-digraph split_graph(const digraph& g, node_id s, node_id t) {
+/// an internal arc of capacity 1 (except s, t whose internal capacity is
+/// `terminal_cap` — "infinite" for exact connectivity, k for the capped
+/// decision variant); each original edge u->v becomes u_out -> v_in with
+/// capacity 1. Max-flow s_out -> t_in then counts internally node-disjoint
+/// paths (up to terminal_cap).
+digraph split_graph(const digraph& g, node_id s, node_id t, capacity_t terminal_cap) {
   const int n = g.universe();
   digraph sp(2 * n);
-  const capacity_t inf = n + 1;
   for (node_id v = 0; v < n; ++v) {
     if (!g.is_active(v)) {
       sp.remove_node(2 * v);
       sp.remove_node(2 * v + 1);
       continue;
     }
-    sp.add_edge(2 * v, 2 * v + 1, (v == s || v == t) ? inf : 1);
+    sp.add_edge(2 * v, 2 * v + 1, (v == s || v == t) ? terminal_cap : 1);
   }
   for (const edge& e : g.edges()) sp.add_edge(2 * e.from + 1, 2 * e.to, 1);
   return sp;
+}
+
+digraph split_graph(const digraph& g, node_id s, node_id t) {
+  return split_graph(g, s, t, static_cast<capacity_t>(g.universe()) + 1);
 }
 
 }  // namespace
@@ -49,6 +54,23 @@ int global_vertex_connectivity(const digraph& g) {
       best = std::min(best, vertex_connectivity(g, s, t));
     }
   return best;
+}
+
+bool global_vertex_connectivity_at_least(const digraph& g, int k) {
+  if (k <= 0) return true;
+  const std::vector<node_id> nodes = g.active_nodes();
+  NAB_ASSERT(nodes.size() >= 2, "global_vertex_connectivity needs >= 2 nodes");
+  for (node_id s : nodes)
+    for (node_id t : nodes) {
+      if (s == t) continue;
+      // Route the flow s_in -> t_out so it must traverse both capacity-k
+      // terminal arcs: the value is then min(k, kappa(s, t)) and Dinic
+      // stops after at most k augmentations instead of computing the full
+      // pair connectivity.
+      const digraph sp = split_graph(g, s, t, static_cast<capacity_t>(k));
+      if (min_cut_value(sp, 2 * s, 2 * t + 1) < k) return false;
+    }
+  return true;
 }
 
 std::vector<std::vector<node_id>> node_disjoint_paths(const digraph& g, node_id s,

@@ -17,6 +17,13 @@ int vertex_connectivity(const digraph& g, node_id s, node_id t);
 /// prerequisite is checked with this.
 int global_vertex_connectivity(const digraph& g);
 
+/// Decision version of the above: is the global vertex connectivity >= k?
+/// Runs the same pairwise flows but caps them at k (the split graph's
+/// terminal arcs get capacity k), so each pair costs O(k) augmentations and
+/// the scan exits on the first deficient pair — the right tool for the
+/// runner's per-run 2f+1 precondition on freshly drawn random topologies.
+bool global_vertex_connectivity_at_least(const digraph& g, int k);
+
 /// A set of `k` internally node-disjoint directed s->t paths, each a node
 /// sequence s, ..., t. Throws nab::error if fewer than k disjoint paths
 /// exist. Used by the complete-graph emulation (send along 2f+1 disjoint

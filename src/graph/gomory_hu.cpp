@@ -16,18 +16,20 @@ gomory_hu_tree::gomory_hu_tree(const ugraph& g) : nodes_(g.active_nodes()) {
   index_of_.assign(static_cast<std::size_t>(g.universe()), -1);
   for (std::size_t i = 0; i < n; ++i) index_of_[static_cast<std::size_t>(nodes_[i])] = static_cast<int>(i);
 
+  // Undirected max-flow with cut side extraction: reuse the directed
+  // machinery by modeling each undirected edge as two opposing arcs. Built
+  // once — max_flow never mutates its input, and rebuilding it per flow was
+  // the dominant cost of tree construction on dense graphs.
+  digraph d(g.universe());
+  for (node_id v = 0; v < g.universe(); ++v)
+    if (!g.is_active(v)) d.remove_node(v);
+  for (const edge& e : g.edges()) d.add_bidirectional(e.from, e.to, e.cap);
+
   // Gusfield: for i = 1..n-1, flow from nodes_[i] to its current parent;
   // re-parent any j > i on the source side of the cut.
   for (std::size_t i = 1; i < n; ++i) {
     const node_id s = nodes_[i];
     const node_id t = nodes_[static_cast<std::size_t>(parent_[i])];
-
-    // Undirected max-flow with cut side extraction: reuse the directed
-    // machinery by modeling each undirected edge as two opposing arcs.
-    digraph d(g.universe());
-    for (node_id v = 0; v < g.universe(); ++v)
-      if (!g.is_active(v)) d.remove_node(v);
-    for (const edge& e : g.edges()) d.add_bidirectional(e.from, e.to, e.cap);
 
     const flow_result fr = max_flow(d, s, t);
     parent_cut_[i] = fr.value;

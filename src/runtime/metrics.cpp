@@ -202,6 +202,8 @@ json run_record::to_json() const {
       .set("mismatch_instances", json::num(mismatch_instances))
       .set("phase1_only_instances", json::num(phase1_only_instances))
       .set("default_outcome_instances", json::num(default_outcome_instances))
+      .set("pipeline_depth", json::num(pipeline_depth))
+      .set("pipeline_speedup", json::num(pipeline_speedup))
       .set("agreement", json::boolean(agreement))
       .set("validity", json::boolean(validity))
       .set("dispute_sound", json::boolean(dispute_sound))
@@ -231,7 +233,8 @@ sweep_summary summarize(const std::vector<run_record>& records) {
 }
 
 json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int jobs,
-                    const std::vector<run_record>& records, double wall_seconds) {
+                    const std::vector<run_record>& records, double wall_seconds,
+                    const std::map<std::string, double>* family_wall_seconds) {
   const sweep_summary s = summarize(records);
   json runs = json::array();
   for (const run_record& r : records) runs.push(r.to_json());
@@ -253,6 +256,12 @@ json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int 
   if (wall_seconds >= 0.0) {
     doc.set("jobs", json::num(jobs));
     doc.set("wall_seconds", json::num(wall_seconds));
+    if (family_wall_seconds != nullptr) {
+      json by_family = json::object();
+      for (const auto& [family, wall] : *family_wall_seconds)
+        by_family.set(family, json::num(wall));
+      doc.set("wall_seconds_by_family", std::move(by_family));
+    }
   }
   doc.set("summary", std::move(summary)).set("runs", std::move(runs));
   return doc;

@@ -86,6 +86,11 @@ struct run_record {
   int phase1_only_instances = 0;
   int default_outcome_instances = 0;
 
+  // Pipelined-propagation runs only (0 otherwise): Appendix-D pipe depth
+  // and the measured pipelined-vs-sequential speedup.
+  int pipeline_depth = 0;
+  double pipeline_speedup = 0.0;
+
   // Paper invariants, asserted per run.
   bool agreement = true;          ///< all instances: honest outputs identical
   bool validity = true;           ///< all instances: honest source ==> input
@@ -121,9 +126,14 @@ std::string hex_seed(std::uint64_t seed);
 
 /// The canonical BENCH_runtime.json document: metadata + per-run records +
 /// aggregate summary. Deterministic for fixed records; `wall_seconds` < 0
-/// omits the wall-clock field entirely (used by the determinism test).
+/// omits every wall-clock field (used by the determinism test).
+/// `family_wall_seconds`, when non-null and wall_seconds >= 0, adds a
+/// "wall_seconds_by_family" section (family name -> summed wall of its
+/// runs) — the per-preset perf trajectory the ROADMAP tracks. Like
+/// wall_seconds it describes the machine and jobs count, not the workload.
 json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int jobs,
-                    const std::vector<run_record>& records, double wall_seconds);
+                    const std::vector<run_record>& records, double wall_seconds,
+                    const std::map<std::string, double>* family_wall_seconds = nullptr);
 
 /// Writes `doc.dump()` to `path` (throws nab::error on I/O failure).
 void write_json_file(const std::string& path, const json& doc);

@@ -1,10 +1,12 @@
 #include "runtime/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
+#include "core/omega_cache.hpp"
+#include "core/pipeline.hpp"
 #include "core/session.hpp"
-#include "graph/connectivity.hpp"
 #include "runtime/executor.hpp"
 #include "util/error.hpp"
 
@@ -43,7 +45,8 @@ graph::digraph build_valid_topology(const scenario& s, std::uint64_t run_seed) {
     graph::digraph g = build_topology(s.topology, topo_rand);
     const int n = g.universe();
     if (n >= 3 * s.f + 1 &&
-        (s.f == 0 || graph::global_vertex_connectivity(g) >= 2 * s.f + 1))
+        (s.f == 0 ||
+         core::omega_cache::instance().connectivity_at_least(g, 2 * s.f + 1)))
       return g;
     const bool randomized = s.topology.kind == topology_kind::erdos_renyi ||
                             s.topology.kind == topology_kind::random_regular;
@@ -77,6 +80,40 @@ run_record execute_scenario(const scenario& s, int run_index,
 
   graph::digraph g = build_valid_topology(s, run_seed);
   rec.nodes = g.universe();
+
+  // Pipelined propagation executes the Appendix-D schedule instead of the
+  // general session driver: fault-free by construction (run_pipelined
+  // aborts on any mismatch flag), so the corrupt set stays empty and the
+  // dispute-side invariants hold vacuously. A non-honest adversary axis
+  // would be silently ignored here — reject it so a sweep can never claim
+  // to have exercised an adversary that never ran.
+  if (s.propagation == core::propagation_mode::pipelined) {
+    if (s.adversary != adversary_kind::honest)
+      throw error("scenario '" + s.name +
+                  "': pipelined propagation is fault-free (Appendix D) and "
+                  "cannot carry adversary '" + to_string(s.adversary) + "'");
+    core::pipeline_config cfg;
+    cfg.g = std::move(g);
+    cfg.f = s.f;
+    cfg.source = s.source;
+    cfg.coding_seed = splitmix64(run_seed ^ 0x5eedULL);
+    rng inputs(splitmix64(run_seed ^ 0x1235813ULL));
+    const core::pipeline_stats stats =
+        core::run_pipelined(cfg, s.instances, s.words, inputs);
+    rec.gamma = stats.gamma;
+    rec.rho = stats.rho;
+    rec.sim_elapsed = stats.elapsed;
+    rec.bits_broadcast = stats.bits;
+    rec.throughput = stats.throughput();
+    rec.tau_mean = stats.instances > 0
+                       ? stats.elapsed / static_cast<double>(stats.instances)
+                       : 0.0;
+    rec.pipeline_depth = stats.depth;
+    rec.pipeline_speedup = stats.speedup();
+    rec.agreement = stats.all_agreed;
+    rec.validity = stats.all_valid;
+    return rec;
+  }
 
   rng pick_rand(splitmix64(run_seed ^ 0xc0ffeeULL));
   const std::vector<graph::node_id> corrupt = pick_corrupt(s, g.universe(), pick_rand);
@@ -136,11 +173,18 @@ run_record execute_scenario(const scenario& s, int run_index,
 
 std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
-    const std::function<void(const run_record&)>& on_done) {
+    const std::function<void(const run_record&)>& on_done,
+    std::vector<double>* run_wall_seconds) {
   std::vector<run_record> records(sweep.size());
+  if (run_wall_seconds != nullptr) run_wall_seconds->assign(sweep.size(), 0.0);
   std::mutex done_mu;
   parallel_for_each_index(jobs, sweep.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
     records[i] = execute_scenario(sweep[i], static_cast<int>(i), sweep_seed);
+    if (run_wall_seconds != nullptr)
+      (*run_wall_seconds)[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     if (on_done) {
       std::lock_guard<std::mutex> lock(done_mu);
       on_done(records[i]);

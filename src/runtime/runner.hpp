@@ -21,8 +21,12 @@ run_record execute_scenario(const scenario& s, int run_index,
 /// indexed by sweep position, so the output is identical for every `jobs`
 /// value. `on_done`, when set, is invoked from worker threads under an
 /// internal lock, in completion (not sweep) order — display only.
+/// `run_wall_seconds`, when set, receives each run's wall-clock duration by
+/// sweep position (machine- and contention-dependent — excluded from the
+/// determinism contract; fleet aggregates it into wall_seconds_by_family).
 std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
-    const std::function<void(const run_record&)>& on_done = {});
+    const std::function<void(const run_record&)>& on_done = {},
+    std::vector<double>* run_wall_seconds = nullptr);
 
 }  // namespace nab::runtime

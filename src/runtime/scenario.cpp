@@ -241,6 +241,53 @@ std::vector<scenario_family> build_registry() {
     reg.push_back(std::move(fam));
   }
 
+  // --- K_16-class scaling presets (unlocked by the omega_cache layer and
+  // --- the batched certifier; see docs/RUNTIME.md). ---
+  {
+    scenario_family fam;
+    fam.name = "k16_dense";
+    fam.description =
+        "K_16 at f in {1,2}: the dense scaling point. Omega_k holds up to "
+        "C(16,2) = 120 subgraphs and certification is a 169x182 GF(2^16) "
+        "rank question per subgraph — the workload the analysis cache and "
+        "the batched certifier exist for.";
+    fam.topologies = {{.kind = tk::complete, .n = 16, .cap_lo = 1, .cap_hi = 1}};
+    fam.fault_budgets = {1, 2};
+    fam.adversaries = {ak::honest, ak::stealth};
+    fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "hypercube_d5";
+    fam.description =
+        "Binary hypercube dim 5 (32 nodes, connectivity 5, f <= 2): the "
+        "structured-sparse scaling point where the column-limited batched "
+        "certifier wins. Flags run phase-king via auto_select (EIG's n^f "
+        "tree is the known n=32 bottleneck).";
+    fam.topologies = {{.kind = tk::hypercube, .param_a = 5, .cap_lo = 2}};
+    fam.fault_budgets = {1, 2};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.instances = 3;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "wan_5cluster";
+    fam.description =
+        "Five complete 4-node clusters with fat local links and thin WAN "
+        "trunks (20 nodes): the geo-replication scaling point — NAB must "
+        "price the trunks, and Omega_1 has 20 nineteen-node subgraphs.";
+    fam.topologies = {{.kind = tk::clustered_wan, .param_a = 5, .param_b = 4,
+                       .cap_lo = 4, .cap_hi = 1}};
+    fam.adversaries = {ak::honest, ak::p1_garble, ak::stealth};
+    fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
   // --- Adversarial capacity skews (the intro's unbounded-gap workloads). ---
   {
     scenario_family fam;
@@ -271,12 +318,14 @@ std::vector<scenario_family> build_registry() {
     scenario_family fam;
     fam.name = "ablation-propagation";
     fam.description =
-        "cut-through vs store-and-forward Phase 1 (the Appendix-D regime "
-        "Figure 3's pipelining repairs) on a 3-hop path of cliques.";
+        "cut-through vs store-and-forward vs Appendix-D pipelined Phase 1 "
+        "(the regime Figure 3's pipelining repairs) on a 3-hop path of "
+        "cliques; pipelined runs execute core::run_pipelined fault-free.";
     fam.topologies = {{.kind = tk::path_of_cliques, .param_a = 3, .param_b = 3,
                        .cap_lo = 1}};
     fam.propagations = {core::propagation_mode::cut_through,
-                        core::propagation_mode::store_and_forward};
+                        core::propagation_mode::store_and_forward,
+                        core::propagation_mode::pipelined};
     fam.instances = 3;
     reg.push_back(std::move(fam));
   }
@@ -385,8 +434,12 @@ std::string to_string(adversary_kind k) {
 }
 
 std::string to_string(core::propagation_mode m) {
-  return m == core::propagation_mode::cut_through ? "cut_through"
-                                                  : "store_and_forward";
+  switch (m) {
+    case core::propagation_mode::cut_through: return "cut_through";
+    case core::propagation_mode::store_and_forward: return "store_and_forward";
+    case core::propagation_mode::pipelined: return "pipelined";
+  }
+  return "?";
 }
 
 std::string to_string(bb::bb_protocol p) {
@@ -433,7 +486,8 @@ adversary_kind adversary_kind_from_string(std::string_view s) {
 core::propagation_mode propagation_from_string(std::string_view s) {
   static const std::vector<core::propagation_mode> all = {
       core::propagation_mode::cut_through,
-      core::propagation_mode::store_and_forward};
+      core::propagation_mode::store_and_forward,
+      core::propagation_mode::pipelined};
   return parse_enum(s, all, "propagation mode");
 }
 

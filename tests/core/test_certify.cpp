@@ -87,5 +87,77 @@ TEST(Certify, RepeatedRandomSchemesVirtuallyAlwaysPass) {
   EXPECT_EQ(pass, 20);
 }
 
+TEST(CertifyBatched, AgreesWithNaiveOnRegistryClassTopologies) {
+  // The batched certifier must produce the identical verdict AND the
+  // identical failing-subgraph list (same enumeration order) as the
+  // independent per-H eliminations, on both dense and sparse topologies.
+  rng rand(31);
+  std::vector<std::pair<graph::digraph, int>> cases;
+  cases.emplace_back(graph::complete(7, 2), 1);
+  cases.emplace_back(graph::complete(7, 1), 2);
+  cases.emplace_back(graph::hypercube(3, 2), 1);
+  cases.emplace_back(graph::clustered_wan(3, 3, 4, 1), 1);
+  cases.emplace_back(graph::paper_fig1a(), 1);
+  cases.emplace_back(graph::random_regular(8, 4, 1, 3, rand), 1);
+  for (const auto& [g, f] : cases) {
+    const graph::capacity_t uk = compute_uk(g, f, dispute_record{});
+    for (int rho : {static_cast<int>(compute_rho(uk)),
+                    static_cast<int>(compute_rho(uk)) + 4}) {
+      const coding_scheme cs = coding_scheme::generate(g, rho, 0xabc);
+      const certification naive = certify_coding(g, f, dispute_record{}, cs);
+      const certification batched = certify_coding_batched(g, f, dispute_record{}, cs);
+      EXPECT_EQ(naive.ok, batched.ok) << "n=" << g.universe() << " rho=" << rho;
+      EXPECT_EQ(naive.failing, batched.failing)
+          << "n=" << g.universe() << " rho=" << rho;
+    }
+  }
+}
+
+TEST(CertifyBatched, AgreesWithNaiveUnderDisputes) {
+  rng rand(57);
+  for (int trial = 0; trial < 40; ++trial) {
+    graph::digraph g = graph::erdos_renyi(6 + static_cast<int>(rand.below(3)), 0.5,
+                                          1, 3, rand);
+    dispute_record disputes;
+    const auto nodes = g.active_nodes();
+    const graph::node_id a = nodes[rand.below(nodes.size())];
+    const graph::node_id b = nodes[rand.below(nodes.size())];
+    if (a != b) {
+      disputes.add_dispute(a, b);
+      g.remove_edge_pair(a, b);
+    }
+    const int f = 1 + static_cast<int>(rand.below(2));
+    if (g.universe() < 3 * f + 1) continue;
+    const auto uk = compute_uk(g, f, disputes);
+    const coding_scheme cs =
+        coding_scheme::generate(g, static_cast<int>(compute_rho(uk)) + 2, trial);
+    const certification naive = certify_coding(g, f, disputes, cs);
+    const certification batched = certify_coding_batched(g, f, disputes, cs);
+    EXPECT_EQ(naive.ok, batched.ok) << "trial " << trial;
+    EXPECT_EQ(naive.failing, batched.failing) << "trial " << trial;
+  }
+}
+
+TEST(CertifyBatched, DetectsDisconnectedSubgraphs) {
+  // A cut vertex makes some H in Omega_1 disconnected; its C_H cannot have
+  // full row rank (nothing links the components), and both certifiers must
+  // name exactly the same failing subgraphs.
+  graph::digraph g(5);
+  for (graph::node_id v : {0, 1}) {
+    g.add_bidirectional(v, 2, 1);
+    g.add_bidirectional(v, (v + 1) % 2, 1);
+  }
+  for (graph::node_id v : {3, 4}) {
+    g.add_bidirectional(v, 2, 1);
+    g.add_bidirectional(v, v == 3 ? 4 : 3, 1);
+  }
+  const coding_scheme cs = coding_scheme::generate(g, 1, 77);
+  const certification naive = certify_coding(g, 1, dispute_record{}, cs);
+  const certification batched = certify_coding_batched(g, 1, dispute_record{}, cs);
+  EXPECT_FALSE(batched.ok);
+  EXPECT_EQ(naive.ok, batched.ok);
+  EXPECT_EQ(naive.failing, batched.failing);
+}
+
 }  // namespace
 }  // namespace nab::core

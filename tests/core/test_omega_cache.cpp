@@ -1,0 +1,161 @@
+// The omega_cache is pure memoization: every value it returns must be
+// byte-identical to what the uncached computation produces for the same
+// (graph, f, disputes) key — across every registry preset, repeated
+// lookups, dispute variations, and concurrent access. This is the guard
+// against graph-fingerprint collisions silently corrupting a sweep.
+
+#include "core/omega_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/omega.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/tree_packing.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace nab::core {
+namespace {
+
+/// Deterministic materialization of every distinct topology in the registry
+/// (random kinds drawn from a fixed rng so the test is reproducible).
+std::vector<std::pair<std::string, graph::digraph>> registry_graphs() {
+  std::vector<std::pair<std::string, graph::digraph>> out;
+  std::set<std::string> seen;
+  rng rand(2024);
+  for (const runtime::scenario& s : runtime::select_scenarios("all")) {
+    const std::string key = runtime::to_string(s.topology.kind) + "/" +
+                            std::to_string(runtime::topology_nodes(s.topology));
+    if (!seen.insert(key).second) continue;
+    out.emplace_back(key, runtime::build_topology(s.topology, rand));
+  }
+  return out;
+}
+
+TEST(OmegaCache, MatchesUncachedAnalysisOnEveryRegistryPreset) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  for (const auto& [name, g] : registry_graphs()) {
+    for (int f : {0, 1}) {
+      if (g.universe() < 3 * f + 1) continue;
+      const dispute_record none;
+      const auto cached = cache.analyze(g, f, none);
+      // Uncached ground truth, recomputed from scratch.
+      const auto omega = omega_subgraphs(g, f, none);
+      const auto uk = compute_uk(g, f, none);
+      EXPECT_EQ(cached->omega, omega) << name << " f=" << f;
+      EXPECT_EQ(cached->uk, uk) << name << " f=" << f;
+      EXPECT_EQ(cached->rho, compute_rho(uk)) << name << " f=" << f;
+      // A second lookup must serve the identical object.
+      EXPECT_EQ(cache.analyze(g, f, none).get(), cached.get()) << name;
+    }
+  }
+}
+
+TEST(OmegaCache, MatchesUncachedPhase1PlanOnEveryRegistryPreset) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  for (const auto& [name, g] : registry_graphs()) {
+    const graph::node_id source = g.active_nodes().front();
+    const auto plan = cache.plan_for(g, source);
+    const auto gamma = graph::broadcast_mincut(g, source);
+    EXPECT_EQ(plan->gamma, gamma) << name;
+    if (gamma >= 1) {
+      // pack_arborescences is deterministically seeded from (k, root), so
+      // the cached packing must equal a fresh one edge for edge.
+      const auto fresh =
+          graph::pack_arborescences(g, source, static_cast<int>(gamma));
+      ASSERT_EQ(plan->trees.size(), fresh.size()) << name;
+      for (std::size_t t = 0; t < fresh.size(); ++t)
+        EXPECT_EQ(plan->trees[t].edges, fresh[t].edges) << name << " tree " << t;
+    }
+  }
+}
+
+TEST(OmegaCache, DisputesArePartOfTheKey) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  rng rand(1);
+  const graph::digraph g = runtime::build_topology(
+      {.kind = runtime::topology_kind::complete, .n = 5, .cap_lo = 1}, rand);
+  const dispute_record none;
+  dispute_record disputed;
+  disputed.add_dispute(1, 2);
+  const auto clean = cache.analyze(g, 1, none);
+  const auto tainted = cache.analyze(g, 1, disputed);
+  EXPECT_NE(clean->omega.size(), tainted->omega.size());
+  EXPECT_EQ(tainted->omega, omega_subgraphs(g, 1, disputed));
+  EXPECT_EQ(tainted->uk, compute_uk(g, 1, disputed));
+}
+
+TEST(OmegaCache, NearIdenticalGraphsNeverAlias) {
+  // Two graphs differing in a single capacity unit must never share an
+  // entry, whatever their fingerprints do — the full-key compare is the
+  // collision guard under test.
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  rng rand(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    graph::digraph a = graph::erdos_renyi(6, 0.6, 1, 3, rand);
+    graph::digraph b = a;
+    const auto edges = b.edges();
+    const graph::edge& e = edges[rand.below(edges.size())];
+    b.remove_edge(e.from, e.to);
+    if (e.cap > 1) b.add_edge(e.from, e.to, e.cap - 1);
+    const dispute_record none;
+    const auto ua = cache.analyze(a, 1, none)->uk;
+    const auto ub = cache.analyze(b, 1, none)->uk;
+    EXPECT_EQ(ua, compute_uk(a, 1, none)) << "trial " << trial;
+    EXPECT_EQ(ub, compute_uk(b, 1, none)) << "trial " << trial;
+  }
+}
+
+TEST(OmegaCache, ConnectivityThresholdMatchesExactConnectivity) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  rng rand(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::digraph g = graph::erdos_renyi(7, 0.45, 1, 2, rand);
+    const int exact = graph::global_vertex_connectivity(g);
+    for (int k = 1; k <= exact + 1; ++k)
+      EXPECT_EQ(cache.connectivity_at_least(g, k), exact >= k)
+          << "trial " << trial << " k=" << k << " exact=" << exact;
+  }
+}
+
+TEST(OmegaCache, ChannelRoutesMatchFreshBuild) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  rng rand(5);
+  const graph::digraph g = graph::random_regular(8, 4, 1, 2, rand);
+  if (graph::global_vertex_connectivity(g) >= 3) {
+    const auto cached = cache.channel_routes_for(g, 1);
+    EXPECT_EQ(*cached, bb::channel_plan::build_routes(g, 1));
+    EXPECT_EQ(cache.channel_routes_for(g, 1).get(), cached.get());
+  }
+}
+
+TEST(OmegaCache, ConcurrentLookupsAgree) {
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  const graph::digraph g = graph::hypercube(4, 2);
+  const dispute_record none;
+  const auto expected_uk = compute_uk(g, 1, none);
+  std::vector<graph::capacity_t> uks(32, -1);
+  runtime::parallel_for_each_index(8, uks.size(), [&](std::size_t i) {
+    uks[i] = cache.analyze(g, 1, none)->uk;
+  });
+  for (graph::capacity_t uk : uks) EXPECT_EQ(uk, expected_uk);
+  // Every lookup counts exactly once; racing misses may double-compute (and
+  // both count as misses), but the table still serves one shared value.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.analysis_hits + stats.analysis_misses, 32u);
+}
+
+}  // namespace
+}  // namespace nab::core

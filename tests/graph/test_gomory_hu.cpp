@@ -58,5 +58,41 @@ TEST(GomoryHu, SingleNodeTree) {
   EXPECT_TRUE(tree.tree_edges().empty());
 }
 
+TEST(GomoryHu, InducedSubgraphQueriesMatchDirectMaxflow) {
+  // The U_k path queries Gomory-Hu trees of induced subgraphs (omega
+  // members); cross-check every pair cut against a direct undirected
+  // max-flow on random weighted graphs.
+  rng rand(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const digraph g = erdos_renyi(9, 0.5, 1, 6, rand);
+    const ugraph u = to_undirected(g);
+    // Drop a random pair of nodes, as omega subgraphs do.
+    auto nodes = u.active_nodes();
+    std::vector<node_id> keep;
+    const std::size_t drop_a = rand.below(nodes.size());
+    const std::size_t drop_b = rand.below(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (i != drop_a && i != drop_b) keep.push_back(nodes[i]);
+    const ugraph h = u.induced(keep);
+    const gomory_hu_tree tree(h);
+    for (std::size_t i = 0; i < keep.size(); ++i)
+      for (std::size_t j = i + 1; j < keep.size(); ++j)
+        EXPECT_EQ(tree.min_cut(keep[i], keep[j]),
+                  min_cut_value_undirected(h, keep[i], keep[j]))
+            << "trial " << trial << " pair (" << keep[i] << "," << keep[j] << ")";
+  }
+}
+
+TEST(GomoryHu, HeavyWeightedGraphMatchesStoerWagner) {
+  // Wide capacities exercise the non-unit flow paths.
+  rng rand(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const digraph g = erdos_renyi(10, 0.4, 3, 40, rand);
+    const ugraph u = to_undirected(g);
+    EXPECT_EQ(gomory_hu_tree(u).minimum_pair_cut(), global_min_cut(u).value)
+        << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace nab::graph

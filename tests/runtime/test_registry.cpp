@@ -5,6 +5,7 @@
 #include <set>
 
 #include "graph/connectivity.hpp"
+#include "runtime/runner.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -100,6 +101,49 @@ TEST(Registry, PresetTopologiesSupportTheirFaultBudgets) {
     if (s.f > 0)
       EXPECT_GE(graph::global_vertex_connectivity(g), 2 * s.f + 1) << s.name;
   }
+}
+
+TEST(Registry, ScalingPresetsExist) {
+  // The K_16-class presets this PR unlocks must stay in the catalog.
+  for (const char* name : {"k16_dense", "hypercube_d5", "wan_5cluster"})
+    EXPECT_NE(find_family(name), nullptr) << name;
+  EXPECT_EQ(find_family("k16_dense")->expand().front().topology.n, 16);
+  EXPECT_EQ(topology_nodes(find_family("hypercube_d5")->expand().front().topology), 32);
+  EXPECT_EQ(topology_nodes(find_family("wan_5cluster")->expand().front().topology), 20);
+}
+
+TEST(Registry, PipelinedPropagationIsARunnableAxis) {
+  // ablation-propagation now carries the Appendix-D pipelined mode; the
+  // runner must execute it via core::run_pipelined, fill the pipeline
+  // fields, and stay deterministic.
+  const auto sweep = select_scenarios("ablation-propagation");
+  const scenario* pipelined = nullptr;
+  for (const scenario& s : sweep)
+    if (s.propagation == core::propagation_mode::pipelined) pipelined = &s;
+  ASSERT_NE(pipelined, nullptr);
+  EXPECT_EQ(propagation_from_string("pipelined"), core::propagation_mode::pipelined);
+
+  const run_record rec = execute_scenario(*pipelined, 2, 11);
+  EXPECT_TRUE(rec.ok()) << rec.scenario;
+  EXPECT_GT(rec.pipeline_depth, 1);
+  EXPECT_GT(rec.pipeline_speedup, 1.0);  // pipelining must beat sequential
+  EXPECT_GT(rec.throughput, 0.0);
+  EXPECT_TRUE(rec.corrupt.empty());  // Appendix-D regime is fault-free
+  EXPECT_EQ(rec, execute_scenario(*pipelined, 2, 11));
+
+  // The non-pipelined siblings keep pipeline fields zeroed.
+  for (const scenario& s : sweep) {
+    if (s.propagation == core::propagation_mode::pipelined) continue;
+    const run_record other = execute_scenario(s, 0, 11);
+    EXPECT_EQ(other.pipeline_depth, 0) << other.scenario;
+    EXPECT_EQ(other.pipeline_speedup, 0.0) << other.scenario;
+  }
+
+  // Pipelined runs are fault-free by construction; pairing the axis with a
+  // non-honest adversary must be rejected, not silently ignored.
+  scenario bad = *pipelined;
+  bad.adversary = adversary_kind::stealth;
+  EXPECT_THROW(execute_scenario(bad, 0, 11), nab::error);
 }
 
 }  // namespace
