@@ -3,6 +3,11 @@
 // machinery. Self-timed; emits machine-readable JSON through the runtime
 // metrics sink (BENCH_micro_session.json) alongside a human-readable table,
 // so the perf trajectory is diffable across commits like BENCH_runtime.json.
+//
+// Alongside wall time, session benches report allocs_per_iter — heap
+// allocations per iteration, counted by the operator-new interposition
+// below. This is the arena PR's headline metric (the run arena eliminates
+// >90% of per-instance allocations) and its regression trajectory.
 
 #include <chrono>
 #include <cstdio>
@@ -12,9 +17,12 @@
 #include "core/nab.hpp"
 #include "graph/generators.hpp"
 #include "runtime/metrics.hpp"
+#include "util/heap_alloc_counter.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+using nab::util::heap_allocs;
 
 using clock_type = std::chrono::steady_clock;
 
@@ -40,6 +48,8 @@ struct result {
   std::string label;
   double sec_per_iter = 0.0;
   int iterations = 0;
+  /// Heap allocations per iteration (-1 = not measured for this bench).
+  double allocs_per_iter = -1.0;
 };
 
 std::vector<nab::core::word> random_words(std::size_t n, nab::rng& rand) {
@@ -48,14 +58,20 @@ std::vector<nab::core::word> random_words(std::size_t n, nab::rng& rand) {
   return out;
 }
 
-result bench_clean_instance(int n, std::size_t words) {
-  nab::core::session s({.g = nab::graph::complete(n), .f = 1},
+result bench_clean_instance(int n, std::size_t words, bool pool_memory = true) {
+  nab::core::session s({.g = nab::graph::complete(n), .f = 1,
+                        .pool_memory = pool_memory},
                        nab::sim::fault_set(n));
   nab::rng rand(1);
   const auto input = random_words(words, rand);
+  s.run_instance(input);  // warm-up: arena pages, channel plan, coding
+  const std::uint64_t allocs_before = heap_allocs();
   auto [sec, iters] = measure([&] { s.run_instance(input); });
-  return {"session_clean_instance",
-          "n=" + std::to_string(n) + " L=" + std::to_string(16 * words), sec, iters};
+  result r{pool_memory ? "session_clean_instance" : "session_clean_instance_nopool",
+           "n=" + std::to_string(n) + " L=" + std::to_string(16 * words), sec, iters};
+  r.allocs_per_iter =
+      static_cast<double>(heap_allocs() - allocs_before) / iters;
+  return r;
 }
 
 result bench_instance_under_attack(int n) {
@@ -65,18 +81,23 @@ result bench_instance_under_attack(int n) {
   const auto t_start = clock_type::now();
   double measured = 0.0;
   int iters = 0;
+  std::uint64_t measured_allocs = 0;
   do {
     nab::sim::fault_set faults(n, {1});
     nab::core::phase1_corruptor adv;
     nab::core::session s({.g = nab::graph::complete(n), .f = 1}, faults, &adv);
     nab::rng rand(2);
     const auto t0 = clock_type::now();
+    const std::uint64_t a0 = heap_allocs();
     s.run_many(2, 64, rand);
     measured += seconds_since(t0);
+    measured_allocs += heap_allocs() - a0;
     ++iters;
   } while (seconds_since(t_start) < 0.2 || iters < 3);
-  return {"session_with_dispute_control", "n=" + std::to_string(n),
-          measured / iters, iters};
+  result r{"session_with_dispute_control", "n=" + std::to_string(n),
+           measured / iters, iters};
+  r.allocs_per_iter = static_cast<double>(measured_allocs) / iters;
+  return r;
 }
 
 result bench_bounds(int n) {
@@ -105,14 +126,21 @@ int main() {
                       {5, 1024},
                       {5, 8192}})
     results.push_back(bench_clean_instance(n, w));
+  // The unpooled heap path at the headline size — the arena's denominator.
+  results.push_back(bench_clean_instance(7, 64, /*pool_memory=*/false));
   for (int n : {4, 5, 7}) results.push_back(bench_instance_under_attack(n));
   for (int n : {4, 5, 6}) results.push_back(bench_bounds(n));
   for (int n : {4, 5, 6}) results.push_back(bench_certify(n));
 
-  std::printf("%-30s %-16s %14s %8s\n", "benchmark", "label", "sec/iter", "iters");
-  for (const result& r : results)
-    std::printf("%-30s %-16s %14.6f %8d\n", r.name.c_str(), r.label.c_str(),
+  std::printf("%-34s %-16s %14s %8s %12s\n", "benchmark", "label", "sec/iter",
+              "iters", "allocs/iter");
+  for (const result& r : results) {
+    std::printf("%-34s %-16s %14.6f %8d", r.name.c_str(), r.label.c_str(),
                 r.sec_per_iter, r.iterations);
+    if (r.allocs_per_iter >= 0)
+      std::printf(" %12.0f", r.allocs_per_iter);
+    std::printf("\n");
+  }
 
   using nab::runtime::json;
   json runs = json::array();
@@ -122,6 +150,8 @@ int main() {
         .set("label", json::str(r.label))
         .set("sec_per_iter", json::num(r.sec_per_iter))
         .set("iterations", json::num(r.iterations));
+    if (r.allocs_per_iter >= 0)
+      j.set("allocs_per_iter", json::num(r.allocs_per_iter));
     runs.push(std::move(j));
   }
   json doc = json::object();

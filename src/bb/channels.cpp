@@ -50,7 +50,7 @@ channel_plan::channel_plan(const graph::digraph& g, int f,
 }
 
 void channel_plan::unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
-                           std::vector<std::uint64_t> payload, std::uint64_t bits) {
+                           sim::payload payload, std::uint64_t bits) {
   NAB_ASSERT(!(*routes_)[pair_index(from, to)].empty(),
              "unicast between nodes with no planned route");
   queued_.push_back({from, to, tag, std::move(payload), bits});
@@ -69,25 +69,39 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
       inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
       continue;
     }
-    // Charge every link of every route; collect one copy per route.
-    std::vector<std::vector<std::uint64_t>> copies;
-    copies.reserve(route_set.size());
+    // Charge every link of every route, noting which paths a corrupt
+    // interior relay could have tampered.
+    bool any_compromised = false;
     for (const auto& path : route_set) {
       for (std::size_t i = 0; i + 1 < path.size(); ++i)
         net.charge(path[i], path[i + 1], m.bits);
+      for (std::size_t i = 1; i + 1 < path.size(); ++i)
+        if (faults.is_corrupt(path[i])) any_compromised = true;
+    }
+    // With no tamperable relay (or no tampering adversary) every copy is
+    // the queued payload verbatim: the majority is the payload itself, so
+    // deliver it by move without materializing per-route copies.
+    if (!any_compromised || adv == nullptr) {
+      inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+      continue;
+    }
+    // Compromised: collect one copy per route and majority-resolve. Ties
+    // resolve to the lexicographically smallest payload so every honest
+    // receiver applies the same deterministic rule.
+    std::vector<sim::payload> copies;
+    copies.reserve(route_set.size());
+    for (const auto& path : route_set) {
       bool compromised_relay = false;
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         if (faults.is_corrupt(path[i])) compromised_relay = true;
-      std::vector<std::uint64_t> copy = m.payload;
-      if (compromised_relay && adv != nullptr) {
+      sim::payload copy = m.payload;
+      if (compromised_relay) {
+        sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
         if (auto forged = adv->tamper(path, m)) copy = std::move(*forged);
       }
       copies.push_back(std::move(copy));
     }
-    // Majority-resolve the copies (a single direct-link route is its own
-    // majority). Ties resolve to the lexicographically smallest payload so
-    // every honest receiver applies the same deterministic rule.
-    std::map<std::vector<std::uint64_t>, int> votes;
+    std::map<sim::payload, int> votes;
     for (const auto& c : copies) ++votes[c];
     const auto winner =
         std::max_element(votes.begin(), votes.end(), [](const auto& a, const auto& b) {
@@ -102,10 +116,15 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
   return net.end_step();
 }
 
-const std::vector<sim::message>& channel_plan::inbox(graph::node_id v) const {
+const sim::message_list& channel_plan::inbox(graph::node_id v) const {
   NAB_ASSERT(v >= 0 && v < static_cast<graph::node_id>(inboxes_.size()),
              "channel inbox out of range");
   return inboxes_[static_cast<std::size_t>(v)];
+}
+
+void channel_plan::reclaim_round_storage() {
+  sim::message_list().swap(queued_);
+  for (auto& box : inboxes_) sim::message_list().swap(box);
 }
 
 const std::vector<std::vector<graph::node_id>>& channel_plan::routes(

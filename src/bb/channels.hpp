@@ -23,7 +23,7 @@ class relay_adversary {
 
   /// `path` is the full node sequence; called only when some interior relay
   /// is corrupt.
-  virtual std::optional<std::vector<std::uint64_t>> tamper(
+  virtual std::optional<sim::payload> tamper(
       const std::vector<graph::node_id>& path, const sim::message& m) {
     (void)path;
     (void)m;
@@ -65,7 +65,7 @@ class channel_plan {
 
   /// Queues a logical unicast for the current round.
   void unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
-               std::vector<std::uint64_t> payload, std::uint64_t bits);
+               sim::payload payload, std::uint64_t bits);
 
   /// Ends the round: charges `net`, applies relay tampering on compromised
   /// paths, majority-resolves copies, and fills the channel inboxes.
@@ -74,7 +74,12 @@ class channel_plan {
                    relay_adversary* adv = nullptr);
 
   /// Logical messages delivered to v in the last completed round.
-  const std::vector<sim::message>& inbox(graph::node_id v) const;
+  const sim::message_list& inbox(graph::node_id v) const;
+
+  /// Releases all per-round storage (queued messages and inbox capacity).
+  /// The plan itself persists across NAB instances while payloads live in a
+  /// per-run arena, so the session calls this before every arena reset.
+  void reclaim_round_storage();
 
   /// The routes used for the ordered pair (from, to): one single-link route
   /// or 2f+1 node-disjoint paths.
@@ -90,8 +95,8 @@ class channel_plan {
   graph::digraph topo_;
   int f_;
   std::shared_ptr<const route_table> routes_;  // immutable, possibly shared
-  std::vector<sim::message> queued_;
-  std::vector<std::vector<sim::message>> inboxes_;
+  sim::message_list queued_;
+  std::vector<sim::message_list> inboxes_;
 
   std::size_t pair_index(graph::node_id u, graph::node_id v) const {
     return static_cast<std::size_t>(u) * topo_.universe() + v;

@@ -10,7 +10,9 @@
 namespace nab::bb {
 namespace {
 
-using label = std::vector<graph::node_id>;
+/// EIG labels churn at Θ(n^f) per instance batch — arena-backed like every
+/// other per-round buffer in this file.
+using label = sim::pooled_vector<graph::node_id>;
 
 // All (instance, label, value) items a node sends to one receiver in one
 // round travel as a single logical unicast (the paper's rounds are
@@ -19,7 +21,7 @@ using label = std::vector<graph::node_id>;
 // are accounted per item exactly as the historical one-message-per-label
 // scheme did.
 
-void append_item(std::vector<std::uint64_t>& out, std::size_t q, const label& sigma,
+void append_item(sim::payload& out, std::size_t q, const label& sigma,
                  const value& v) {
   out.push_back(q);
   out.push_back(sigma.size());
@@ -31,7 +33,7 @@ void append_item(std::vector<std::uint64_t>& out, std::size_t q, const label& si
 /// Parses the item at `pos`, advancing it. Returns false (leaving `pos` at
 /// the payload end) when the remainder is malformed — a tampered batch
 /// yields as many well-formed prefix items as survive.
-bool next_item(const std::vector<std::uint64_t>& words, std::size_t& pos,
+bool next_item(const sim::payload& words, std::size_t& pos,
                std::size_t& q, label& sigma, value& v) {
   if (pos >= words.size()) return false;
   if (words.size() - pos < 2) {
@@ -84,8 +86,12 @@ class value_pool {
   const value& of(int id) const { return arena_[static_cast<std::size_t>(id)]; }
 
  private:
-  std::deque<value> arena_;  // stable references
-  std::map<value, int> ids_;
+  // Stable references; both the pool entries and the id-map nodes live in
+  // the ambient run arena.
+  std::deque<value, sim::arena_alloc<value>> arena_;
+  std::map<value, int, std::less<value>,
+           sim::arena_alloc<std::pair<const value, int>>>
+      ids_;
 };
 
 /// Per-instance, per-node EIG tree storage. Labels are packed into a 64-bit
@@ -122,15 +128,18 @@ class tree {
   }
 
   /// Labels of the given length, in insertion order.
-  const std::vector<label>& of_length(std::size_t len) const {
-    static const std::vector<label> empty;
+  const sim::pooled_vector<label>& of_length(std::size_t len) const {
+    static const sim::pooled_vector<label> empty;
     return len < rounds_.size() ? rounds_[len] : empty;
   }
 
  private:
   std::uint64_t radix_;
-  std::unordered_map<std::uint64_t, int> vals_;
-  std::vector<std::vector<label>> rounds_;  // by label length
+  std::unordered_map<std::uint64_t, int, std::hash<std::uint64_t>,
+                     std::equal_to<std::uint64_t>,
+                     sim::arena_alloc<std::pair<const std::uint64_t, int>>>
+      vals_;
+  sim::pooled_vector<sim::pooled_vector<label>> rounds_;  // by label length
 };
 
 /// Bottom-up PSL resolution: leaves return their stored value, internal
@@ -144,7 +153,7 @@ int resolve(const tree& t, label& sigma, const std::vector<graph::node_id>& all,
     return stored < 0 ? 0 : stored;
   }
   // Distinct child ids are few; linear bookkeeping beats any map here.
-  std::vector<std::pair<int, int>> votes;
+  sim::pooled_vector<std::pair<int, int>> votes;
   int child_count = 0;
   for (graph::node_id j : all) {
     if (contains(sigma, j)) continue;
@@ -216,7 +225,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
 
   // Per-(sender, receiver) batch buffers for the current round.
   struct batch {
-    std::vector<std::uint64_t> payload;
+    sim::payload payload;
     std::uint64_t bits = 0;
   };
   std::vector<batch> batches(static_cast<std::size_t>(universe) *
@@ -246,6 +255,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
       const value* v = &inst.input;
       value forged;
       if (faults.is_corrupt(inst.source) && adv != nullptr) {
+        sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
         forged = adv->source_value(inst.source, r, *v);
         v = &forged;
       }
@@ -283,7 +293,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
         tree& mine = store[q][static_cast<std::size_t>(i)];
         // A node also "sends to itself": its own tree gets sigma.i with the
         // honestly stored value (deferred — of_length would grow mid-loop).
-        std::vector<std::pair<label, int>> self_stores;
+        sim::pooled_vector<std::pair<label, int>> self_stores;
         for (const label& sigma : mine.of_length(static_cast<std::size_t>(round - 1))) {
           if (contains(sigma, i)) continue;
           const int stored_id = mine.find(sigma);
@@ -291,11 +301,16 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
           const value& stored = pool.of(stored_id);
           const bool may_lie = faults.is_corrupt(i) && adv != nullptr;
           value forged;
+          // The adversary hook keeps its plain-vector signature; convert the
+          // arena-backed label only on the (rare) corrupt-sender path.
+          std::vector<graph::node_id> sigma_plain;
+          if (may_lie) sigma_plain.assign(sigma.begin(), sigma.end());
           for (graph::node_id j : participants) {
             if (j == i) continue;
             const value* v = &stored;
             if (may_lie) {
-              forged = adv->relay_value(i, j, sigma, stored);
+              sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
+              forged = adv->relay_value(i, j, sigma_plain, stored);
               v = &forged;
             }
             batch& b = batches[pair_of(i, j)];

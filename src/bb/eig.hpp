@@ -12,7 +12,9 @@ namespace nab::bb {
 
 /// Logical value carried by classical BB: opaque words. The empty vector is
 /// the *default value* that the model substitutes for missing messages.
-using value = std::vector<std::uint64_t>;
+/// Arena-backed (sim/run_arena.hpp): every relayed copy of a value inside a
+/// run draws from the per-run arena when one is ambient.
+using value = sim::payload;
 
 /// Adversary hooks for corrupt participants of EIG broadcast. Every method
 /// receives the value an honest node would have sent and may return anything

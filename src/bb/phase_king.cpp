@@ -20,8 +20,10 @@ std::vector<std::map<graph::node_id, std::uint64_t>> exchange(
     for (graph::node_id j : participants) {
       if (j == i) continue;
       std::uint64_t v = current[static_cast<std::size_t>(i)];
-      if (faults.is_corrupt(i) && adv != nullptr)
+      if (faults.is_corrupt(i) && adv != nullptr) {
+        sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
         v = adv->exchange_value(i, j, phase, king_round, v);
+      }
       channels.unicast(i, j, static_cast<std::uint64_t>(phase), {v}, value_bits);
     }
   }
@@ -107,8 +109,10 @@ pk_result phase_king_broadcast(channel_plan& channels, sim::network& net,
   for (graph::node_id j : participants) {
     if (j == source) continue;
     std::uint64_t v = input;
-    if (faults.is_corrupt(source) && adv != nullptr)
+    if (faults.is_corrupt(source) && adv != nullptr) {
+      sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
       v = adv->exchange_value(source, j, /*phase=*/-1, /*is_king_round=*/false, v);
+    }
     channels.unicast(source, j, 0, {v}, value_bits);
   }
   channels.end_round(net, faults, relay_adv);

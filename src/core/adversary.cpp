@@ -3,7 +3,8 @@
 namespace nab::core {
 namespace {
 
-void push_words16(std::vector<std::uint64_t>& out, const std::vector<word>& ws) {
+template <typename WordVec>
+void push_words16(sim::payload& out, const WordVec& ws) {
   out.push_back(ws.size());
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < ws.size(); ++i) {
@@ -16,8 +17,8 @@ void push_words16(std::vector<std::uint64_t>& out, const std::vector<word>& ws) 
   if (ws.size() % 4 != 0) out.push_back(acc);
 }
 
-bool read_words16(const std::vector<std::uint64_t>& in, std::size_t& pos,
-                  std::vector<word>& out) {
+template <typename WordVec>
+bool read_words16(const sim::payload& in, std::size_t& pos, WordVec& out) {
   if (pos >= in.size()) return false;
   const std::uint64_t len = in[pos++];
   if (len > (1u << 24)) return false;  // sanity bound on claim size
@@ -41,8 +42,8 @@ std::uint64_t node_claims::bits() const {
   return total + 64;
 }
 
-std::vector<std::uint64_t> node_claims::pack() const {
-  std::vector<std::uint64_t> out;
+sim::payload node_claims::pack() const {
+  sim::payload out;
   auto pack_p1 = [&](const auto& section) {
     out.push_back(section.size());
     for (const auto& [key, c] : section) {
@@ -69,7 +70,7 @@ std::vector<std::uint64_t> node_claims::pack() const {
   return out;
 }
 
-bool node_claims::unpack(const std::vector<std::uint64_t>& words, node_claims& out) {
+bool node_claims::unpack(const sim::payload& words, node_claims& out) {
   out = node_claims{};
   std::size_t pos = 0;
   auto read_count = [&](std::uint64_t& n) {

@@ -13,7 +13,14 @@
 namespace nab::core {
 
 /// A share of the broadcast value carried on one spanning tree in Phase 1.
-using chunk = std::vector<word>;
+/// Arena-backed: chunks churn as transcripts in every phase, so they draw
+/// from the ambient run arena (sim/run_arena.hpp) when one is installed.
+using chunk = sim::pooled_vector<word>;
+
+/// A transcript map whose nodes live in the ambient run arena — these are
+/// exactly the per-instance claim maps the dispute machinery churns through.
+template <typename K, typename V>
+using claim_map = std::map<K, V, std::less<K>, sim::arena_alloc<std::pair<const K, V>>>;
 
 /// Ground-truth record of everything one node sent and received during
 /// Phases 1 and 2 of a NAB instance. Dispute control (Phase 3) has nodes
@@ -22,11 +29,11 @@ using chunk = std::vector<word>;
 struct node_claims {
   /// (tree, from, to) -> chunk for tree edges where this node is the sender
   /// / receiver respectively.
-  std::map<std::tuple<int, graph::node_id, graph::node_id>, chunk> p1_sent;
-  std::map<std::tuple<int, graph::node_id, graph::node_id>, chunk> p1_received;
+  claim_map<std::tuple<int, graph::node_id, graph::node_id>, chunk> p1_sent;
+  claim_map<std::tuple<int, graph::node_id, graph::node_id>, chunk> p1_received;
   /// (from, to) -> coded symbols for Equality Check edges.
-  std::map<std::pair<graph::node_id, graph::node_id>, coded_symbols> p2_sent;
-  std::map<std::pair<graph::node_id, graph::node_id>, coded_symbols> p2_received;
+  claim_map<std::pair<graph::node_id, graph::node_id>, coded_symbols> p2_sent;
+  claim_map<std::pair<graph::node_id, graph::node_id>, coded_symbols> p2_received;
 
   bool operator==(const node_claims&) const = default;
 
@@ -34,9 +41,9 @@ struct node_claims {
   std::uint64_t bits() const;
 
   /// Deterministic serialization for classical-BB dissemination.
-  std::vector<std::uint64_t> pack() const;
+  sim::payload pack() const;
   /// Returns false when the blob is malformed (which convicts the claimant).
-  static bool unpack(const std::vector<std::uint64_t>& words, node_claims& out);
+  static bool unpack(const sim::payload& words, node_claims& out);
 };
 
 /// Behavior of the corrupt nodes across all phases of NAB. The default
@@ -45,7 +52,10 @@ struct node_claims {
 /// would have done.
 ///
 /// The adversary is full-information (the paper's model): strategies may
-/// retain arbitrary state and inspect anything passed to them.
+/// retain arbitrary state and inspect anything passed to them. Every hook is
+/// invoked with run-arena pooling suspended, so retained state lives on the
+/// plain heap and survives the per-instance arena reset (see
+/// sim/run_arena.hpp) without strategies having to know arenas exist.
 class nab_adversary {
  public:
   virtual ~nab_adversary() = default;

@@ -4,15 +4,15 @@
 
 namespace nab::core {
 
-std::vector<std::uint64_t> coded_symbols::pack() const {
-  std::vector<std::uint64_t> out((words.size() + 3) / 4, 0);
+sim::payload coded_symbols::pack() const {
+  sim::payload out((words.size() + 3) / 4, 0);
   for (std::size_t i = 0; i < words.size(); ++i)
     out[i / 4] |= static_cast<std::uint64_t>(words[i]) << (16 * (i % 4));
   return out;
 }
 
 coded_symbols coded_symbols::unpack(int count, int slices,
-                                    const std::vector<std::uint64_t>& packed) {
+                                    const sim::payload& packed) {
   coded_symbols out;
   out.count = count;
   out.slices = slices;

@@ -5,23 +5,24 @@
 #include "core/value.hpp"
 #include "gf/matrix.hpp"
 #include "graph/digraph.hpp"
+#include "sim/run_arena.hpp"
 #include "util/rng.hpp"
 
 namespace nab::core {
 
 /// The coded payload sent on one edge during Equality Check: z_e coded
 /// symbols, each `slices` GF(2^16) words (coded[k*slices + t] = slice t of
-/// coded symbol k).
+/// coded symbol k). Arena-backed: coded symbols are per-instance transcript
+/// churn, copied into claim maps and replayed by dispute control.
 struct coded_symbols {
   int count = 0;   // z_e
   int slices = 0;  // words per coded symbol
-  std::vector<word> words;
+  sim::pooled_vector<word> words;
 
   bool operator==(const coded_symbols&) const = default;
 
-  std::vector<std::uint64_t> pack() const;
-  static coded_symbols unpack(int count, int slices,
-                              const std::vector<std::uint64_t>& packed);
+  sim::payload pack() const;
+  static coded_symbols unpack(int count, int slices, const sim::payload& packed);
   std::uint64_t bits() const { return static_cast<std::uint64_t>(count) * slices * 16; }
 };
 

@@ -81,7 +81,10 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
   std::vector<graph::node_id> claimant;  // instance index -> node
   for (graph::node_id v : active) {
     node_claims claims = ctx.truth[static_cast<std::size_t>(v)];
-    if (faults.is_corrupt(v) && adv != nullptr) claims = adv->phase3_claims(v, claims);
+    if (faults.is_corrupt(v) && adv != nullptr) {
+      sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
+      claims = adv->phase3_claims(v, claims);
+    }
     bb::eig_instance inst;
     inst.source = v;
     inst.input = claims.pack();
@@ -91,8 +94,10 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
   }
   {
     std::vector<word> source_input = ctx.input;
-    if (faults.is_corrupt(ctx.source) && adv != nullptr)
+    if (faults.is_corrupt(ctx.source) && adv != nullptr) {
+      sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
       source_input = adv->phase3_source_input(source_input);
+    }
     bb::eig_instance inst;
     inst.source = ctx.source;
     value_vector packer = value_vector::reshape(
@@ -147,11 +152,13 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
       split_into_chunks(ctx.input, static_cast<int>(ctx.trees.size()))[0].size();
   for (std::size_t t = 0; t < ctx.trees.size(); ++t) {
     for (const graph::edge& e : ctx.trees[t].edges) {
-      auto sent = agreed[static_cast<std::size_t>(e.from)].p1_sent;
-      auto rcvd = agreed[static_cast<std::size_t>(e.to)].p1_received;
+      const auto& sent = agreed[static_cast<std::size_t>(e.from)].p1_sent;
+      const auto& rcvd = agreed[static_cast<std::size_t>(e.to)].p1_received;
       const auto key = std::make_tuple(static_cast<int>(t), e.from, e.to);
-      chunk s = sent.count(key) ? sent[key] : chunk{};
-      chunk r = rcvd.count(key) ? rcvd[key] : chunk{};
+      const auto si = sent.find(key);
+      const auto ri = rcvd.find(key);
+      chunk s = si == sent.end() ? chunk{} : si->second;
+      chunk r = ri == rcvd.end() ? chunk{} : ri->second;
       s.resize(chunk_size, 0);
       r.resize(chunk_size, 0);
       if (s != r) note_dispute(e.from, e.to);

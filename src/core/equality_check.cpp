@@ -1,5 +1,7 @@
 #include "core/equality_check.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace nab::core {
@@ -22,16 +24,20 @@ equality_check_result run_equality_check(sim::network& net, const graph::digraph
   // actual[(u,v)] lives in the receiver's truth record after the step.
   for (const graph::edge& e : g.edges()) {
     const value_vector& x = values[static_cast<std::size_t>(e.from)];
-    coded_symbols honest = coding.encode(x, e.from, e.to);
-    coded_symbols sent = honest;
+    coded_symbols sent = coding.encode(x, e.from, e.to);
     if (faults.is_corrupt(e.from) && adv != nullptr) {
+      // Pooling suspended across the hook: strategies may stash state that
+      // outlives the instance (stealth_disputer records honest symbols).
+      sim::scoped_run_arena suspend_pooling(nullptr);
+      const coded_symbols honest = std::move(sent);
       sent = adv->phase2_coded(e.from, e.to, honest);
       NAB_ASSERT(sent.count == honest.count && sent.slices == honest.slices,
                  "adversary must respect the wire format of coded symbols");
     }
     net.charge(e.from, e.to, sent.bits());
     result.truth[static_cast<std::size_t>(e.from)].p2_sent[{e.from, e.to}] = sent;
-    result.truth[static_cast<std::size_t>(e.to)].p2_received[{e.from, e.to}] = sent;
+    result.truth[static_cast<std::size_t>(e.to)].p2_received[{e.from, e.to}] =
+        std::move(sent);
   }
   net.end_step();
 

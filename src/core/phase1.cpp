@@ -96,31 +96,51 @@ phase1_result run_phase1(sim::network& net, const graph::digraph& g,
       if (se.level != level) continue;
       const chunk& have = holding[static_cast<std::size_t>(se.tree)]
                                  [static_cast<std::size_t>(se.from)];
-      chunk send = have;
+      // Honest forwards only *inspect* the held chunk — transmit a view and
+      // copy just into the destinations; only a corrupt rewrite materializes
+      // a fresh chunk.
+      const chunk* send = &have;
+      chunk forged;
       if (faults.is_corrupt(se.from) && adv != nullptr) {
-        send = se.from == source ? adv->phase1_source_chunk(se.tree, se.to, have)
-                                 : adv->phase1_forward_chunk(se.tree, se.from, se.to, have);
-        send.resize(have.size(), 0);  // the wire carries exactly L/gamma bits
+        // Adversary hooks run with pooling suspended: strategies may retain
+        // arbitrary cross-instance state (the model is full-information),
+        // which must not land in the per-instance arena.
+        sim::scoped_run_arena suspend_pooling(nullptr);
+        forged = se.from == source
+                     ? adv->phase1_source_chunk(se.tree, se.to, have)
+                     : adv->phase1_forward_chunk(se.tree, se.from, se.to, have);
+        forged.resize(have.size(), 0);  // the wire carries exactly L/gamma bits
+        send = &forged;
       }
       net.charge(se.from, se.to, chunk_bits);
-      holding[static_cast<std::size_t>(se.tree)][static_cast<std::size_t>(se.to)] = send;
 
       auto& sender_truth = result.truth[static_cast<std::size_t>(se.from)];
       auto& receiver_truth = result.truth[static_cast<std::size_t>(se.to)];
-      sender_truth.p1_sent[{se.tree, se.from, se.to}] = send;
-      receiver_truth.p1_received[{se.tree, se.from, se.to}] = send;
+      sender_truth.p1_sent[{se.tree, se.from, se.to}] = *send;
+      receiver_truth.p1_received[{se.tree, se.from, se.to}] = *send;
+      chunk& dest =
+          holding[static_cast<std::size_t>(se.tree)][static_cast<std::size_t>(se.to)];
+      if (send == &forged)
+        dest = std::move(forged);
+      else
+        dest = have;
     }
     if (mode == propagation_mode::store_and_forward) net.end_step();
   }
   if (mode == propagation_mode::cut_through) net.end_step();
 
-  // Assemble per-node values.
+  // Assemble per-node values in place (no per-tree chunk copies).
   for (graph::node_id v : g.active_nodes()) {
-    std::vector<chunk> got(trees.size());
-    for (std::size_t t = 0; t < trees.size(); ++t)
-      got[t] = v == source ? shares[t]
-                           : holding[t][static_cast<std::size_t>(v)];
-    result.received[static_cast<std::size_t>(v)] = assemble_chunks(got, input.size());
+    std::vector<word> out(input.size(), 0);
+    std::size_t pos = 0;
+    for (std::size_t t = 0; t < trees.size() && pos < out.size(); ++t) {
+      const chunk& c = v == source ? shares[t] : holding[t][static_cast<std::size_t>(v)];
+      for (word w : c) {
+        if (pos >= out.size()) break;
+        out[pos++] = w;
+      }
+    }
+    result.received[static_cast<std::size_t>(v)] = std::move(out);
   }
   result.time = net.elapsed() - t0;
   return result;

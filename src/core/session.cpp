@@ -13,8 +13,9 @@
 
 namespace nab::core {
 
-session::session(session_config cfg, const sim::fault_set& faults, nab_adversary* adv)
-    : cfg_(std::move(cfg)), faults_(faults), adv_(adv), gk_(cfg_.g) {
+session::session(session_config cfg, const sim::fault_set& faults, nab_adversary* adv,
+                 sim::run_arena* arena)
+    : cfg_(std::move(cfg)), faults_(faults), adv_(adv), arena_(arena), gk_(cfg_.g) {
   const int n = cfg_.g.universe();
   if (cfg_.propagation == propagation_mode::pipelined)
     throw error("session: pipelined propagation is a whole-session schedule — "
@@ -32,6 +33,10 @@ session::session(session_config cfg, const sim::fault_set& faults, nab_adversary
 
 void session::refresh_graph_state() {
   if (!dirty_) return;
+  // Everything refreshed here (analysis, coding matrices, per-source plans)
+  // outlives the instance that triggered the refresh — keep it off the run
+  // arena even when called from inside run_instance's ambient scope.
+  sim::scoped_run_arena suspend_pooling(nullptr);
   per_source_.clear();
   analysis_ = omega_cache::instance().analyze(gk_, cfg_.f, record_);
   uk_ = analysis_->uk;
@@ -66,6 +71,10 @@ const phase1_plan& session::source_state_for(graph::node_id source) {
   refresh_graph_state();
   auto it = per_source_.find(source);
   if (it == per_source_.end()) {
+    // Plans are cached per-session (and process-wide in omega_cache) —
+    // long-lived, so computed with pooling suspended like every other
+    // cross-instance structure.
+    sim::scoped_run_arena suspend_pooling(nullptr);
     auto plan = omega_cache::instance().plan_for(gk_, source);
     NAB_ASSERT(plan->gamma >= 1, "instance graph lost connectivity from the source");
     it = per_source_.emplace(source, std::move(plan)).first;
@@ -79,9 +88,14 @@ bb::channel_plan& session::ensure_channels() {
   // connectivity >= 2f+1 guarantees the complete-graph emulation — G_k may
   // lose that property as disputed edges are dropped. Instance data phases
   // (1 and 2.1) remain restricted to G_k.
-  if (!channels_)
+  if (!channels_) {
+    // The plan persists across instances; its backbone must not come from
+    // the per-instance arena (round payloads still do — reclaimed by the
+    // instance epilogue below).
+    sim::scoped_run_arena suspend_pooling(nullptr);
     channels_.emplace(cfg_.g, cfg_.f,
                       omega_cache::instance().channel_routes_for(cfg_.g, cfg_.f));
+  }
   return *channels_;
 }
 
@@ -96,6 +110,20 @@ instance_report session::run_instance(const std::vector<word>& input,
                                       graph::node_id source_override) {
   const graph::node_id source = source_override >= 0 ? source_override : cfg_.source;
   NAB_ASSERT(source >= 0 && source < cfg_.g.universe(), "source out of range");
+
+  // Per-instance arena epoch: pooling is ambient for the instance body, and
+  // the epilogue (also on early returns and exception unwinds, after every
+  // in-scope container has died) reclaims the channel plan's round storage
+  // and rewinds the arena. reset() aborts if anything is still live, which
+  // is the use-after-reset guarantee the arena tests pin down.
+  sim::scoped_run_arena ambient(cfg_.pool_memory ? &arena() : nullptr);
+  struct arena_epoch {
+    session* s;
+    ~arena_epoch() {
+      if (s->channels_) s->channels_->reclaim_round_storage();
+      s->arena().reset();
+    }
+  } epoch{this};
 
   instance_report report;
   report.index = stats_.instances;
@@ -121,7 +149,10 @@ instance_report session::run_instance(const std::vector<word>& input,
   report.uk = uk_;
   report.rho = rho_;
 
-  if (adv_ != nullptr) adv_->on_instance_begin(report.index, gk_);
+  if (adv_ != nullptr) {
+    sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
+    adv_->on_instance_begin(report.index, gk_);
+  }
 
   // The physical network is always G: G_k only restricts which links the
   // protocol *uses* in Phases 1/2.1.
@@ -154,8 +185,10 @@ instance_report session::run_instance(const std::vector<word>& input,
     std::vector<bool> flag_inputs(static_cast<std::size_t>(gk_.universe()), false);
     for (graph::node_id v : gk_.active_nodes()) {
       bool flag = ec.flags[static_cast<std::size_t>(v)];
-      if (faults_.is_corrupt(v) && adv_ != nullptr)
+      if (faults_.is_corrupt(v) && adv_ != nullptr) {
+        sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
         flag = adv_->phase2_flag(v, flag);
+      }
       flag_inputs[static_cast<std::size_t>(v)] = flag;
     }
     bb::bb_protocol engine = cfg_.flag_protocol;
@@ -274,8 +307,9 @@ std::vector<instance_report> session::run_many(int q, std::size_t words_per_inpu
 
 session_run run_session(session_config cfg, const sim::fault_set& faults,
                         nab_adversary* adv, int q, std::size_t words_per_input,
-                        std::uint64_t seed, bool rotate_sources) {
-  session s(std::move(cfg), faults, adv);
+                        std::uint64_t seed, bool rotate_sources,
+                        sim::run_arena* arena) {
+  session s(std::move(cfg), faults, adv, arena);
   rng rand(seed);
   session_run out;
   out.reports = s.run_many(q, words_per_input, rand, rotate_sources);

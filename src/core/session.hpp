@@ -16,6 +16,7 @@
 #include "core/phase1.hpp"
 #include "graph/digraph.hpp"
 #include "sim/faults.hpp"
+#include "sim/run_arena.hpp"
 #include "util/rng.hpp"
 
 namespace nab::core {
@@ -40,6 +41,11 @@ struct session_config {
   /// phase-king when the participant count allows (> 4f), else EIG; the
   /// choice cannot affect asymptotic throughput (ablation A3).
   bb::bb_protocol flag_protocol = bb::bb_protocol::eig;
+  /// Pool per-instance protocol memory (transcripts, claim maps, payloads)
+  /// in a run arena that resets between instances. Results are bit-identical
+  /// either way — the switch exists for the arena-equivalence property tests
+  /// and allocation-count baselines.
+  bool pool_memory = true;
 };
 
 /// Everything observable about one NAB instance.
@@ -95,8 +101,16 @@ class session {
   /// `faults` fixes the corrupt nodes for the whole session (the paper's
   /// model); `adv` drives their behavior (nullptr = corrupt nodes behave
   /// honestly). Throws nab::error when n <= 3f or connectivity < 2f+1.
+  ///
+  /// `arena` lends the session an external run arena (the fleet runtime
+  /// passes one per executor shard, so consecutive sessions on a shard reuse
+  /// the same pages); nullptr = the session owns a private arena. Either
+  /// way the session controls the arena's lifecycle: it is ambient exactly
+  /// for the duration of each run_instance and is reset — empty — between
+  /// instances, so nothing allocated from it may outlive the instance that
+  /// allocated it (instance reports copy into plain heap storage).
   session(session_config cfg, const sim::fault_set& faults,
-          nab_adversary* adv = nullptr);
+          nab_adversary* adv = nullptr, sim::run_arena* arena = nullptr);
 
   /// Runs one instance broadcasting `input` (16-bit words; L = 16*|input|).
   /// `source_override` >= 0 broadcasts from that node instead of the
@@ -130,9 +144,14 @@ class session {
   const phase1_plan& source_state_for(graph::node_id source);
   bb::channel_plan& ensure_channels();  // lazy, built once over the original G
 
+  /// The run arena serving this session's instances (borrowed or owned).
+  sim::run_arena& arena() { return arena_ != nullptr ? *arena_ : owned_arena_; }
+
   session_config cfg_;
   sim::fault_set faults_;
   nab_adversary* adv_;
+  sim::run_arena* arena_ = nullptr;  ///< borrowed (per-shard) arena, if any
+  sim::run_arena owned_arena_;
   graph::digraph gk_;
   dispute_record record_;
   session_stats stats_;
@@ -162,9 +181,12 @@ struct session_run {
 /// rng(seed), and returns every observable by value. No global mutable state
 /// is touched (the GF tables are immutable after first use), so concurrent
 /// calls from different threads are safe as long as each call owns its
-/// `faults`/`adv` arguments — this is the fleet runtime's shard body.
+/// `faults`/`adv`/`arena` arguments — this is the fleet runtime's shard
+/// body. `arena` is the optional per-shard run arena (see session::session);
+/// it must be thread-confined to the caller.
 session_run run_session(session_config cfg, const sim::fault_set& faults,
                         nab_adversary* adv, int q, std::size_t words_per_input,
-                        std::uint64_t seed, bool rotate_sources = false);
+                        std::uint64_t seed, bool rotate_sources = false,
+                        sim::run_arena* arena = nullptr);
 
 }  // namespace nab::core

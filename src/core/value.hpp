@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gf/gf2_16.hpp"
+#include "sim/run_arena.hpp"
 #include "util/rng.hpp"
 
 namespace nab::core {
@@ -47,10 +48,10 @@ class value_vector {
   const std::vector<word>& words() const { return words_; }
 
   /// Pack into 64-bit transport words (4 symbols-words per transport word).
-  std::vector<std::uint64_t> pack() const;
+  sim::payload pack() const;
 
   /// Inverse of pack for a value of known shape.
-  static value_vector unpack(int rho, int slices, const std::vector<std::uint64_t>& packed);
+  static value_vector unpack(int rho, int slices, const sim::payload& packed);
 
   bool operator==(const value_vector&) const = default;
 

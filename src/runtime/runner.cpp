@@ -133,9 +133,16 @@ run_record execute_scenario(const scenario& s, int run_index,
   cfg.propagation = s.propagation;
   cfg.flag_protocol = s.flag_protocol;
 
-  const core::session_run run =
-      core::run_session(std::move(cfg), faults, adv.get(), s.instances, s.words,
-                        splitmix64(run_seed ^ 0x1235813ULL), s.rotate_sources);
+  // One run arena per executor shard (thread-confined, reused across every
+  // run the shard executes): the steady-state sweep allocates nothing — each
+  // session resets the arena between instances and leaves it empty. Arena
+  // use never affects results (only their cost), so the jobs-1-vs-N
+  // bit-identity contract is untouched.
+  static thread_local sim::run_arena shard_arena;
+
+  const core::session_run run = core::run_session(
+      std::move(cfg), faults, adv.get(), s.instances, s.words,
+      splitmix64(run_seed ^ 0x1235813ULL), s.rotate_sources, &shard_arena);
 
   // --- measured outcomes ---
   if (!run.reports.empty()) {

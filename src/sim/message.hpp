@@ -4,12 +4,14 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "sim/run_arena.hpp"
 
 namespace nab::sim {
 
 /// One point-to-point message in the synchronous network.
 ///
-/// `payload` is protocol-defined opaque data; `bits` is the size charged
+/// `payload` is protocol-defined opaque data (arena-backed when a run arena
+/// is ambient — see sim/run_arena.hpp); `bits` is the size charged
 /// against the link for time accounting (the paper's capacity constraint is
 /// about bits on the wire, which can be smaller than the in-memory
 /// representation). `tag` disambiguates concurrent logical streams within a
@@ -18,8 +20,12 @@ struct message {
   graph::node_id from = -1;
   graph::node_id to = -1;
   std::uint64_t tag = 0;
-  std::vector<std::uint64_t> payload;
+  sim::payload payload;
   std::uint64_t bits = 0;
 };
+
+/// A batch of messages (inboxes, per-round queues) — arena-backed alongside
+/// the payloads it carries.
+using message_list = pooled_vector<message>;
 
 }  // namespace nab::sim

@@ -61,7 +61,7 @@ double network::end_step() {
   return duration;
 }
 
-const std::vector<message>& network::inbox(graph::node_id v) const {
+const message_list& network::inbox(graph::node_id v) const {
   NAB_ASSERT(v >= 0 && v < universe(), "inbox node out of range");
   return inboxes_[static_cast<std::size_t>(v)];
 }

@@ -41,7 +41,7 @@ class network {
 
   /// Messages delivered to node v in the most recently completed step, in
   /// send order.
-  const std::vector<message>& inbox(graph::node_id v) const;
+  const message_list& inbox(graph::node_id v) const;
 
   /// Clears all inboxes (start of a fresh protocol phase).
   void clear_inboxes();
@@ -70,8 +70,8 @@ class network {
   graph::digraph topo_;
   std::vector<std::uint64_t> step_bits_;        // per-link bits queued this step
   std::vector<std::uint64_t> lifetime_bits_;    // per-link cumulative
-  std::vector<std::vector<message>> pending_;   // queued this step, per receiver
-  std::vector<std::vector<message>> inboxes_;   // delivered last step
+  std::vector<message_list> pending_;           // queued this step, per receiver
+  std::vector<message_list> inboxes_;           // delivered last step
   double elapsed_ = 0.0;
   std::uint64_t total_bits_ = 0;
   int steps_ = 0;

@@ -48,7 +48,7 @@ TEST(Channels, DeliveryAndAccounting) {
   const double t = plan.end_round(net, faults);
   EXPECT_DOUBLE_EQ(t, 5.0);  // 10 bits on a capacity-2 link
   ASSERT_EQ(plan.inbox(1).size(), 1u);
-  EXPECT_EQ(plan.inbox(1)[0].payload, (std::vector<std::uint64_t>{123}));
+  EXPECT_EQ(plan.inbox(1)[0].payload, (sim::payload{123}));
   EXPECT_EQ(plan.inbox(1)[0].tag, 9u);
   EXPECT_EQ(net.link_bits(0, 1), 10u);
 }
@@ -64,15 +64,15 @@ TEST(Channels, EmulatedPathChargesEveryHop) {
   // 3 disjoint paths, each with >= 2 hops, each hop charged 6 bits.
   EXPECT_GE(net.total_bits(), 6u * 6u);
   ASSERT_EQ(plan.inbox(3).size(), 1u);
-  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(plan.inbox(3)[0].payload, (sim::payload{7}));
 }
 
 /// Replaces every relayed copy with a forged payload.
 class forger : public relay_adversary {
  public:
-  std::optional<std::vector<std::uint64_t>> tamper(
+  std::optional<sim::payload> tamper(
       const std::vector<graph::node_id>&, const sim::message&) override {
-    return std::vector<std::uint64_t>{666};
+    return sim::payload{666};
   }
 };
 
@@ -87,7 +87,7 @@ TEST(Channels, MajorityDefeatsSingleCorruptRelay) {
   plan.end_round(net, faults, &adv);
   ASSERT_EQ(plan.inbox(3).size(), 1u);
   // Two honest paths out of three: majority yields the true payload.
-  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(plan.inbox(3)[0].payload, (sim::payload{42}));
 }
 
 TEST(Channels, TamperWinsOnlyWithMajorityOfPaths) {
@@ -101,7 +101,7 @@ TEST(Channels, TamperWinsOnlyWithMajorityOfPaths) {
   plan.unicast(0, 3, 0, {42}, 8);
   plan.end_round(net, faults, &adv);
   ASSERT_EQ(plan.inbox(3).size(), 1u);
-  EXPECT_EQ(plan.inbox(3)[0].payload, (std::vector<std::uint64_t>{666}));
+  EXPECT_EQ(plan.inbox(3)[0].payload, (sim::payload{666}));
 }
 
 TEST(Channels, RoundsClearInboxes) {

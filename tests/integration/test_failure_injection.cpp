@@ -9,6 +9,7 @@
 
 #include "core/nab.hpp"
 #include "graph/generators.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace nab::core {
@@ -160,9 +161,9 @@ class relay_tamperer : public nab_adversary {
  private:
   class forge_all : public bb::relay_adversary {
    public:
-    std::optional<std::vector<std::uint64_t>> tamper(
+    std::optional<sim::payload> tamper(
         const std::vector<graph::node_id>&, const sim::message&) override {
-      return std::vector<std::uint64_t>{0xBAD, 0xBEEF};
+      return sim::payload{0xBAD, 0xBEEF};
     }
   };
   forge_all relay_;
@@ -181,6 +182,78 @@ TEST(FailureInjection, RelayTamperingOnEmulatedPathsIsHarmless) {
   expect_contract(s.run_many(3, 8, rand));
   expect_soundness(s, faults, 1);
   EXPECT_TRUE(s.disputes().is_convicted(2));  // the false flag still convicts
+}
+
+/// A fault that flips ON in the middle of the Equality Check: honest for the
+/// first edges of every instance, garbling from there on. Exercises the
+/// per-run arena with transcripts that change character mid-phase.
+class mid_phase_flipper : public nab_adversary {
+ public:
+  void on_instance_begin(int, const graph::digraph&) override { calls_ = 0; }
+  coded_symbols phase2_coded(graph::node_id, graph::node_id,
+                             const coded_symbols& honest) override {
+    if (++calls_ <= 2) return honest;  // first two edges honest, then corrupt
+    coded_symbols out = honest;
+    for (word& w : out.words) w = static_cast<word>(w ^ 0x5a5a);
+    return out;
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(FailureInjection, MidPhaseFaultFlipUnderSharedArena) {
+  // The session borrows an external arena (the fleet-shard configuration);
+  // a fault that switches on mid-Equality-Check must leave the usual
+  // evidence and the arena empty after every instance.
+  const graph::digraph g = graph::complete(5, 2);
+  sim::fault_set faults(5, {2});
+  mid_phase_flipper adv;
+  sim::run_arena arena;
+  session s({.g = g, .f = 1}, faults, &adv, &arena);
+  rng rand(21);
+  const auto reports = s.run_many(5, 8, rand);
+  expect_contract(reports);
+  expect_soundness(s, faults, 1);
+  EXPECT_TRUE(reports.front().mismatch_announced);  // the flip was caught
+  EXPECT_EQ(arena.live_allocations(), 0u);
+  EXPECT_EQ(arena.resets(), 5u);
+}
+
+/// A run that aborts outright in the middle of a phase (the
+/// paper-invariant-violation path: an exception unwinds out of
+/// run_instance while transcripts, claim maps, and payloads are live).
+class mid_phase_aborter : public nab_adversary {
+ public:
+  coded_symbols phase2_coded(graph::node_id, graph::node_id,
+                             const coded_symbols& honest) override {
+    if (++calls_ == 3) throw error("injected mid-phase fault");
+    return honest;
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(FailureInjection, MidPhaseAbortDoesNotLeakIntoTheArena) {
+  // run_arena::reset aborts the process if anything pooled survives the
+  // instance epilogue, so merely *surviving* the throw proves there is no
+  // use-after-reset; the session and its arena stay serviceable after.
+  const graph::digraph g = graph::complete(5, 2);
+  sim::fault_set faults(5, {2});
+  mid_phase_aborter adv;
+  sim::run_arena arena;
+  session s({.g = g, .f = 1}, faults, &adv, &arena);
+  rng rand(22);
+  std::vector<word> input(8, 0x1234);
+  EXPECT_THROW(s.run_instance(input), error);
+  EXPECT_EQ(arena.live_allocations(), 0u);
+  EXPECT_GE(arena.resets(), 1u);
+  // The aborter stays past its trigger; later instances run clean on the
+  // same arena.
+  expect_contract(s.run_many(3, 8, rand));
+  expect_soundness(s, faults, 1);
+  EXPECT_EQ(arena.live_allocations(), 0u);
 }
 
 TEST(FailureInjection, ChaosAtHighRateManyInstances) {

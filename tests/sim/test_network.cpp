@@ -39,7 +39,7 @@ TEST(Network, DeliveryHappensAtStepBoundary) {
   net.end_step();
   ASSERT_EQ(net.inbox(1).size(), 1u);
   EXPECT_EQ(net.inbox(1)[0].tag, 7u);
-  EXPECT_EQ(net.inbox(1)[0].payload, (std::vector<std::uint64_t>{42}));
+  EXPECT_EQ(net.inbox(1)[0].payload, (sim::payload{42}));
   // Next step clears.
   net.end_step();
   EXPECT_TRUE(net.inbox(1).empty());
