@@ -14,6 +14,10 @@
 //   --jobs N          worker threads (default 1; results identical for any N)
 //   --seed S          sweep base seed (default 1)
 //   --json FILE       output path (default BENCH_runtime.json; "-" = none)
+//   --trace FILE      capture per-run traffic matrices (sim ambient traces)
+//                     and dump them to FILE as JSON (sparse link lists plus
+//                     the per-run DC1 claim bytes — the communication-pattern
+//                     analysis mode)
 //   --quiet           suppress the per-run progress lines
 
 #include <cerrno>
@@ -33,7 +37,7 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
-               "             [--json FILE] [--quiet]\n");
+               "             [--json FILE] [--trace FILE] [--quiet]\n");
   std::exit(2);
 }
 
@@ -76,6 +80,7 @@ void list_registry() {
 int main(int argc, char** argv) {
   std::string names = "all";
   std::string json_path = "BENCH_runtime.json";
+  std::string trace_path;
   int jobs = 1;
   std::uint64_t seed = 1;
   bool quiet = false;
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
       seed = parse_u64("--seed", next());
     } else if (a == "--json") {
       json_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -122,7 +129,7 @@ int main(int argc, char** argv) {
                       r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
                       r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
         },
-        &run_walls);
+        &run_walls, /*capture_traces=*/!trace_path.empty());
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -149,6 +156,10 @@ int main(int argc, char** argv) {
       write_json_file(json_path,
                       sweep_document(names, seed, jobs, records, wall, &family_walls));
       std::printf("fleet: wrote %s\n", json_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      write_json_file(trace_path, trace_document(names, seed, records));
+      std::printf("fleet: wrote %s\n", trace_path.c_str());
     }
 
     if (s.failed_runs > 0) {

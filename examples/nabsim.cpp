@@ -18,6 +18,9 @@
 //   --source S        broadcasting node (default 0)
 //   --corrupt A,B     corrupt node ids (default none)
 //   --adversary KIND  honest|p1garble|equivocate|p2lie|falseflag|stealth|chaos
+//   --claim-backend B Phase-3 DC1 engine: auto|eig|phase_king|collapsed
+//                     (default eig — the oracle; collapsed is the
+//                     polynomial-traffic Bracha-style backend)
 //   --q Q             instances (default 8)
 //   --words W         16-bit words per input, L = 16 W bits (default 64)
 //   --seed S          RNG seed (default 1)
@@ -46,6 +49,7 @@ struct options {
   nab::graph::node_id source = 0;
   std::vector<nab::graph::node_id> corrupt;
   std::string adversary = "honest";
+  std::string claim_backend = "eig";
   int q = 8;
   std::size_t words = 64;
   std::uint64_t seed = 1;
@@ -56,8 +60,9 @@ struct options {
   std::fprintf(stderr,
                "usage: nabsim run|bounds|pipeline [--topology FILE | --n N --cap C] "
                "[--f F] [--source S]\n"
-               "              [--corrupt A,B] [--adversary KIND] [--q Q] [--words W] "
-               "[--seed S] [--tsv]\n");
+               "              [--corrupt A,B] [--adversary KIND] "
+               "[--claim-backend auto|eig|phase_king|collapsed]\n"
+               "              [--q Q] [--words W] [--seed S] [--tsv]\n");
   std::exit(2);
 }
 
@@ -92,6 +97,7 @@ options parse(int argc, char** argv) {
     else if (a == "--source") o.source = std::atoi(next());
     else if (a == "--corrupt") o.corrupt = parse_ids(next());
     else if (a == "--adversary") o.adversary = next();
+    else if (a == "--claim-backend") o.claim_backend = next();
     else if (a == "--q") o.q = std::atoi(next());
     else if (a == "--words") o.words = static_cast<std::size_t>(std::atoll(next()));
     else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
@@ -128,12 +134,26 @@ std::unique_ptr<nab::core::nab_adversary> make_adversary(const options& o) {
   std::exit(2);
 }
 
+nab::bb::claim_backend parse_claim_backend(const std::string& s) {
+  using nab::bb::claim_backend;
+  if (s == "auto") return claim_backend::auto_select;
+  if (s == "eig") return claim_backend::eig;
+  if (s == "phase_king") return claim_backend::phase_king;
+  if (s == "collapsed") return claim_backend::collapsed;
+  std::fprintf(stderr, "unknown claim backend '%s'\n", s.c_str());
+  std::exit(2);
+}
+
 int cmd_run(const options& o) {
   using namespace nab;
   const graph::digraph g = load_graph(o);
   sim::fault_set faults(g.universe(), o.corrupt);
   const auto adv = make_adversary(o);
-  core::session s({.g = g, .f = o.f, .source = o.source}, faults, adv.get());
+  core::session s({.g = g,
+                   .f = o.f,
+                   .source = o.source,
+                   .claim_backend = parse_claim_backend(o.claim_backend)},
+                  faults, adv.get());
   rng rand(o.seed);
   const auto reports = s.run_many(o.q, o.words, rand);
   if (o.tsv) {

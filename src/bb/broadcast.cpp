@@ -1,5 +1,6 @@
 #include "bb/broadcast.hpp"
 
+#include "bb/claim_bcast.hpp"
 #include "util/assert.hpp"
 
 namespace nab::bb {
@@ -11,15 +12,18 @@ broadcast_outcome broadcast_default(channel_plan& channels, sim::network& net,
                                     eig_adversary* eig_adv, pk_adversary* pk_adv,
                                     relay_adversary* relay_adv) {
   const auto participants = channels.topology().active_nodes();
-  const auto n = static_cast<int>(participants.size());
   bb_protocol chosen = protocol;
   if (chosen == bb_protocol::auto_select) {
-    chosen = (n > 4 * f && input.size() <= 1) ? bb_protocol::phase_king
-                                              : bb_protocol::eig;
+    chosen = (phase_king_admissible(participants.size(), f) && input.size() <= 1)
+                 ? bb_protocol::phase_king
+                 : bb_protocol::eig;
   }
 
   broadcast_outcome out;
   if (chosen == bb_protocol::phase_king) {
+    NAB_ASSERT(phase_king_admissible(participants.size(), f),
+               "phase-king broadcast requires more than 4f participants — "
+               "auto_select boundaries must reject this configuration up front");
     NAB_ASSERT(input.size() <= 1, "phase-king broadcast carries single-word values");
     const std::uint64_t word = input.empty() ? 0 : input[0];
     const pk_result pk = phase_king_broadcast(channels, net, faults, source, word, f,
@@ -80,6 +84,13 @@ flags_outcome broadcast_flags_phase_king(channel_plan& channels, sim::network& n
                                          relay_adversary* relay_adv) {
   const auto participants = channels.topology().active_nodes();
   const int universe = channels.topology().universe();
+  // The > 4f precondition is checked here, at the engine boundary, so an
+  // undersized G_k fails immediately and attributably; callers resolving
+  // auto_select (core::session) and explicit configurations (session
+  // construction) reject the combination with a clean nab::error before any
+  // round runs.
+  NAB_ASSERT(phase_king_admissible(participants.size(), f),
+             "phase-king flag broadcast requires more than 4f participants");
   NAB_ASSERT(flags.size() >= static_cast<std::size_t>(universe),
              "flags must cover the node universe");
 

@@ -65,7 +65,7 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
     // Fast path: a single direct link has no interior relays to tamper and
     // is its own majority — charge it and deliver the payload by move.
     if (route_set.size() == 1 && route_set.front().size() == 2) {
-      net.charge(m.from, m.to, m.bits);
+      net.charge(m.from, m.to, m.bits, m.tag);
       inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
       continue;
     }
@@ -74,7 +74,7 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
     bool any_compromised = false;
     for (const auto& path : route_set) {
       for (std::size_t i = 0; i + 1 < path.size(); ++i)
-        net.charge(path[i], path[i + 1], m.bits);
+        net.charge(path[i], path[i + 1], m.bits, m.tag);
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         if (faults.is_corrupt(path[i])) any_compromised = true;
     }

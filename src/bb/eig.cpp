@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "bb/round_batch.hpp"
 #include "util/assert.hpp"
 
 namespace nab::bb {
@@ -181,7 +182,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
                              const sim::fault_set& faults,
                              const std::vector<eig_instance>& instances, int f,
                              std::uint64_t value_bits, eig_adversary* adv,
-                             relay_adversary* relay_adv) {
+                             relay_adversary* relay_adv, std::uint64_t tag) {
   const std::vector<graph::node_id> participants = channels.topology().active_nodes();
   const auto n = static_cast<int>(participants.size());
   NAB_ASSERT(n > 3 * f, "EIG requires more than 3f participants");
@@ -223,26 +224,9 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
 
   const double t0 = net.elapsed();
 
-  // Per-(sender, receiver) batch buffers for the current round.
-  struct batch {
-    sim::payload payload;
-    std::uint64_t bits = 0;
-  };
-  std::vector<batch> batches(static_cast<std::size_t>(universe) *
-                             static_cast<std::size_t>(universe));
-  const auto pair_of = [universe](graph::node_id a, graph::node_id b) {
-    return static_cast<std::size_t>(a) * universe + b;
-  };
-  const auto flush_batches = [&]() {
-    for (graph::node_id i : participants)
-      for (graph::node_id j : participants) {
-        batch& b = batches[pair_of(i, j)];
-        if (b.payload.empty()) continue;
-        channels.unicast(i, j, 0, std::move(b.payload), b.bits);
-        b.payload.clear();
-        b.bits = 0;
-      }
-  };
+  // Per-(sender, receiver) batch buffers for the current round (the shared
+  // wire-batching contract of bb/round_batch.hpp).
+  round_batches batches(universe, participants);
 
   // Round 1: each source disseminates its input.
   for (std::size_t q = 0; q < instances.size(); ++q) {
@@ -260,12 +244,12 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
         v = &forged;
       }
       const std::uint64_t vb = inst.value_bits != 0 ? inst.value_bits : value_bits;
-      batch& b = batches[pair_of(inst.source, r)];
+      round_batch& b = batches.at(inst.source, r);
       append_item(b.payload, q, root, *v);
       b.bits += vb + 8 * (root.size() + 1);
     }
   }
-  flush_batches();
+  batches.flush(channels, tag);
   channels.end_round(net, faults, relay_adv);
   {
     label sigma;
@@ -313,7 +297,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
               forged = adv->relay_value(i, j, sigma_plain, stored);
               v = &forged;
             }
-            batch& b = batches[pair_of(i, j)];
+            round_batch& b = batches.at(i, j);
             append_item(b.payload, q, sigma, *v);
             b.bits += vb + 8 * (sigma.size() + 1);
           }
@@ -324,7 +308,7 @@ eig_result eig_broadcast_all(channel_plan& channels, sim::network& net,
         for (auto& [sig, val] : self_stores) mine.store(sig, val);
       }
     }
-    flush_batches();
+    batches.flush(channels, tag);
     channels.end_round(net, faults, relay_adv);
     label sigma;
     value v;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "bb/claim_bcast.hpp"
 #include "bb/eig.hpp"
 #include "core/coding.hpp"
 #include "core/value.hpp"
@@ -114,6 +115,14 @@ class nab_adversary {
   /// claim dissemination). nullptr = corrupt nodes behave honestly *inside*
   /// BB (they can still lie via the inputs above).
   virtual bb::eig_adversary* eig() { return nullptr; }
+
+  /// Optional adversary for the collapsed claim-broadcast backend (digest
+  /// equivocation, echo suppression, forged retrievals). nullptr = corrupt
+  /// nodes behave honestly *inside* the backend (they still lie via
+  /// phase3_claims above) — the regime in which every backend provably
+  /// agrees on exactly the submitted claims, which is what the
+  /// backend-equivalence tests pin down.
+  virtual bb::claim_adversary* claim_bcast() { return nullptr; }
 
   /// Optional relay-tampering adversary for emulated multi-hop channels:
   /// corrupt interior relays may replace forwarded copies. Majority voting

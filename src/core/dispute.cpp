@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "bb/eig.hpp"
+#include "bb/claim_bcast.hpp"
 #include "core/phase1.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
@@ -68,7 +68,9 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
                                     const graph::digraph& gk,
                                     const sim::fault_set& faults, int f_bb, int f,
                                     const instance_context& ctx,
-                                    dispute_record& record, nab_adversary* adv) {
+                                    dispute_record& record, nab_adversary* adv,
+                                    bb::claim_backend backend,
+                                    std::uint64_t digest_seed) {
   NAB_ASSERT(ctx.coding != nullptr, "instance context needs a coding scheme");
   const std::vector<graph::node_id> active = gk.active_nodes();
   const int universe = gk.universe();
@@ -76,8 +78,9 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
 
   dispute_outcome outcome;
 
-  // ---- DC1: classical BB of every node's claims + the source's input. ----
-  std::vector<bb::eig_instance> instances;
+  // ---- DC1: claim broadcast of every node's claims + the source's input,
+  // ---- through the pluggable backend (bb/claim_bcast.hpp). ----
+  std::vector<bb::claim_instance> instances;
   std::vector<graph::node_id> claimant;  // instance index -> node
   for (graph::node_id v : active) {
     node_claims claims = ctx.truth[static_cast<std::size_t>(v)];
@@ -85,7 +88,7 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
       sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
       claims = adv->phase3_claims(v, claims);
     }
-    bb::eig_instance inst;
+    bb::claim_instance inst;
     inst.source = v;
     inst.input = claims.pack();
     inst.value_bits = claims.bits();
@@ -98,7 +101,7 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
       sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
       source_input = adv->phase3_source_input(source_input);
     }
-    bb::eig_instance inst;
+    bb::claim_instance inst;
     inst.source = ctx.source;
     value_vector packer = value_vector::reshape(
         source_input.empty() ? std::vector<word>{0} : source_input, 1);
@@ -107,9 +110,14 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
     instances.push_back(std::move(inst));
   }
 
-  const bb::eig_result bb_out = bb::eig_broadcast_all(
-      channels, net, faults, instances, f_bb, /*value_bits=*/64,
-      adv != nullptr ? adv->eig() : nullptr, adv != nullptr ? adv->relay() : nullptr);
+  const std::uint64_t wire_before = net.total_bits();
+  const bb::claim_outcome bb_out = bb::broadcast_claims(
+      backend, channels, net, faults, instances, f_bb,
+      adv != nullptr ? adv->eig() : nullptr,
+      adv != nullptr ? adv->claim_bcast() : nullptr,
+      adv != nullptr ? adv->relay() : nullptr, digest_seed);
+  outcome.claim_bits = net.total_bits() - wire_before;
+  outcome.claim_fallbacks = bb_out.fallback_retrievals;
 
   // Read agreed values off the first honest node (all honest nodes agree;
   // session-level tests assert that independently).
@@ -123,7 +131,7 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
 
   // The agreed instance outcome (last instance).
   {
-    const bb::value& agreed = bb_out.decisions.back()[static_cast<std::size_t>(reader)];
+    const bb::value& agreed = bb_out.agreed.back()[static_cast<std::size_t>(reader)];
     const std::size_t want = std::max<std::size_t>(ctx.input.size(), 1);
     outcome.agreed_value =
         value_vector::unpack(1, static_cast<int>(want), agreed).words();
@@ -135,7 +143,7 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
   std::vector<node_claims> agreed(static_cast<std::size_t>(universe));
   std::set<graph::node_id> convicted_now;
   for (std::size_t q = 0; q < claimant.size(); ++q) {
-    const bb::value& blob = bb_out.decisions[q][static_cast<std::size_t>(reader)];
+    const bb::value& blob = bb_out.agreed[q][static_cast<std::size_t>(reader)];
     if (!node_claims::unpack(blob, agreed[static_cast<std::size_t>(claimant[q])]))
       convicted_now.insert(claimant[q]);
   }

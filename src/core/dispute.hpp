@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bb/channels.hpp"
+#include "bb/claim_bcast.hpp"
 #include "core/adversary.hpp"
 #include "core/coding.hpp"
 #include "core/omega.hpp"
@@ -36,6 +37,13 @@ struct dispute_outcome {
   std::vector<graph::node_id> newly_convicted;
   /// The instance's agreed output (the DC1 broadcast of the source input).
   std::vector<word> agreed_value;
+  /// Wire bits DC1's claim dissemination consumed (the Theta(n^f) * L term
+  /// the collapsed backend collapses — recorded so the drop is asserted per
+  /// run, not eyeballed).
+  std::uint64_t claim_bits = 0;
+  /// Collapsed backend only: (claimant, receiver) pairs that needed the
+  /// full-transcript retrieval round (digest-mismatched minority).
+  int claim_fallbacks = 0;
   double time = 0.0;
 };
 
@@ -56,12 +64,22 @@ struct dispute_outcome {
 /// the residual fault budget used by the classical BB sub-protocol
 /// (f minus previously convicted nodes); `f` is the paper's global budget
 /// used for explaining-set enumeration.
+///
+/// `backend` selects the DC1 claim-dissemination engine (bb/claim_bcast.hpp;
+/// auto_select resolves on the channel plan's participant count), and
+/// `digest_seed` feeds the collapsed backend's digest evaluation points
+/// (sessions pass their coding_seed — shared protocol state, like the
+/// coding matrices). Dispute sets, convictions, and the agreed value are
+/// byte-identical across backends — only the wire cost (claim_bits)
+/// differs.
 dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channels,
                                     const graph::digraph& gk,
                                     const sim::fault_set& faults, int f_bb, int f,
                                     const instance_context& ctx,
                                     dispute_record& record,
-                                    nab_adversary* adv = nullptr);
+                                    nab_adversary* adv = nullptr,
+                                    bb::claim_backend backend = bb::claim_backend::eig,
+                                    std::uint64_t digest_seed = 0);
 
 /// DC4 in isolation: the set of nodes contained in *every* fault set of size
 /// <= f that covers `pairs`. Throws nab::error if no such set exists (which

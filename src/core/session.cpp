@@ -29,6 +29,22 @@ session::session(session_config cfg, const sim::fault_set& faults, nab_adversary
   NAB_ASSERT(cfg_.g.is_active(cfg_.source), "source must exist in G");
   NAB_ASSERT(faults_.universe() == n, "fault set universe mismatch");
   NAB_ASSERT(faults_.count() <= cfg_.f, "more corrupt nodes than the budget f");
+
+  // Phase-king engines require > 4f participants (the classical-BB
+  // sub-protocols run over the whole original network G). Reject an
+  // undersized explicit selection here — the auto_select boundary — instead
+  // of tripping an invariant deep inside the first flag or claim round.
+  const std::size_t participants = cfg_.g.active_nodes().size();
+  if (cfg_.flag_protocol == bb::bb_protocol::phase_king &&
+      !bb::phase_king_admissible(participants, cfg_.f))
+    throw error("session: phase-king flag broadcast needs more than 4f "
+                "participants (n=" + std::to_string(participants) +
+                ", f=" + std::to_string(cfg_.f) + ") — use eig or auto_select");
+  if (cfg_.claim_backend == bb::claim_backend::phase_king &&
+      !bb::phase_king_admissible(participants, cfg_.f))
+    throw error("session: phase-king claim backend needs more than 4f "
+                "participants (n=" + std::to_string(participants) +
+                ", f=" + std::to_string(cfg_.f) + ") — use eig or collapsed");
 }
 
 void session::refresh_graph_state() {
@@ -194,7 +210,7 @@ instance_report session::run_instance(const std::vector<word>& input,
     bb::bb_protocol engine = cfg_.flag_protocol;
     if (engine == bb::bb_protocol::auto_select) {
       const auto participants = ensure_channels().topology().active_nodes().size();
-      engine = participants > static_cast<std::size_t>(4 * cfg_.f)
+      engine = bb::phase_king_admissible(participants, cfg_.f)
                    ? bb::bb_protocol::phase_king
                    : bb::bb_protocol::eig;
     }
@@ -252,9 +268,19 @@ instance_report session::run_instance(const std::vector<word>& input,
       }
       ctx.agreed_flags = agreed_flags;
 
-      const dispute_outcome dc = run_dispute_control(
-          net, ensure_channels(), gk_, faults_, cfg_.f, cfg_.f, ctx, record_, adv_);
+      // auto_select resolves inside broadcast_claims, on the channel plan's
+      // participant count — one resolution authority for every caller. The
+      // coding seed doubles as the digest-point seed: per-run shared
+      // protocol state, exactly like the coding matrices.
+      const dispute_outcome dc =
+          run_dispute_control(net, ensure_channels(), gk_, faults_, cfg_.f, cfg_.f,
+                              ctx, record_, adv_, cfg_.claim_backend,
+                              cfg_.coding_seed);
       report.time_phase3 = dc.time;
+      report.claim_bits = dc.claim_bits;
+      report.claim_fallbacks = dc.claim_fallbacks;
+      stats_.claim_bits += dc.claim_bits;
+      stats_.claim_fallbacks += dc.claim_fallbacks;
       report.new_disputes = dc.new_disputes;
       report.newly_convicted = dc.newly_convicted;
 

@@ -6,6 +6,7 @@
 
 #include "bb/broadcast.hpp"
 #include "bb/channels.hpp"
+#include "bb/claim_bcast.hpp"
 #include "core/adversary.hpp"
 #include "core/capacity.hpp"
 #include "core/coding.hpp"
@@ -39,8 +40,18 @@ struct session_config {
   propagation_mode propagation = propagation_mode::cut_through;
   /// Classical-BB engine for the step-2.2 flag broadcast. auto_select uses
   /// phase-king when the participant count allows (> 4f), else EIG; the
-  /// choice cannot affect asymptotic throughput (ablation A3).
+  /// choice cannot affect asymptotic throughput (ablation A3). Explicitly
+  /// requesting phase_king on <= 4f participants is rejected at session
+  /// construction (the auto_select boundary), not deep inside a run.
   bb::bb_protocol flag_protocol = bb::bb_protocol::eig;
+  /// Claim-dissemination backend for Phase-3 DC1 (bb/claim_bcast.hpp): eig
+  /// is the seed path and correctness oracle at Theta(n^f) * L claim
+  /// traffic; collapsed drops DC1 to O(n^2 digest + disputes * L), which is
+  /// what opens the n >= 64 presets; phase_king is the polynomial
+  /// full-transcript midpoint (> 4f participants, validated at
+  /// construction). Dispute sets, convictions, and agreed values are
+  /// byte-identical across backends.
+  bb::claim_backend claim_backend = bb::claim_backend::eig;
   /// Pool per-instance protocol memory (transcripts, claim maps, payloads)
   /// in a run arena that resets between instances. Results are bit-identical
   /// either way — the switch exists for the arena-equivalence property tests
@@ -63,6 +74,11 @@ struct instance_report {
   double time_equality_check = 0.0;
   double time_flags = 0.0;
   double time_phase3 = 0.0;
+  /// Wire bits DC1's claim dissemination consumed (0 when Phase 3 did not
+  /// run) and, for the collapsed backend, how many (claimant, receiver)
+  /// pairs needed the full-transcript retrieval fallback.
+  std::uint64_t claim_bits = 0;
+  int claim_fallbacks = 0;
   /// outputs[v] = words decided by node v (honest nodes meaningful).
   std::vector<std::vector<word>> outputs;
   bool agreement = true;  ///< all honest outputs identical
@@ -81,6 +97,10 @@ struct session_stats {
   int dispute_phases = 0;
   double elapsed = 0.0;
   std::uint64_t bits_broadcast = 0;
+  /// Cumulative DC1 claim traffic (wire bits) and collapsed-backend
+  /// retrieval fallbacks across all dispute phases of the session.
+  std::uint64_t claim_bits = 0;
+  int claim_fallbacks = 0;
   double throughput() const { return elapsed > 0 ? bits_broadcast / elapsed : 0.0; }
 };
 

@@ -187,6 +187,7 @@ json run_record::to_json() const {
       .set("adversary", json::str(adversary))
       .set("propagation", json::str(propagation))
       .set("flag_protocol", json::str(flag_protocol))
+      .set("claim_backend", json::str(claim_backend))
       .set("instances", json::num(instances))
       .set("words", json::num(words))
       .set("corrupt", std::move(corrupt_ids))
@@ -202,6 +203,8 @@ json run_record::to_json() const {
       .set("mismatch_instances", json::num(mismatch_instances))
       .set("phase1_only_instances", json::num(phase1_only_instances))
       .set("default_outcome_instances", json::num(default_outcome_instances))
+      .set("dc1_claim_bits", json::num(dc1_claim_bits))
+      .set("dc1_fallbacks", json::num(dc1_fallbacks))
       .set("pipeline_depth", json::num(pipeline_depth))
       .set("pipeline_speedup", json::num(pipeline_speedup))
       .set("agreement", json::boolean(agreement))
@@ -264,6 +267,40 @@ json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int 
     }
   }
   doc.set("summary", std::move(summary)).set("runs", std::move(runs));
+  return doc;
+}
+
+json trace_document(const std::string& sweep_name, std::uint64_t base_seed,
+                    const std::vector<run_record>& records) {
+  json runs = json::array();
+  for (const run_record& r : records) {
+    if (r.traffic.empty()) continue;
+    const auto n = static_cast<std::size_t>(r.nodes);
+    NAB_ASSERT(r.traffic.size() == n * n, "traffic matrix shape mismatch");
+    json links = json::array();
+    for (std::size_t u = 0; u < n; ++u)
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint64_t bits = r.traffic[u * n + v];
+        if (bits == 0) continue;
+        json link = json::object();
+        link.set("from", json::num(static_cast<std::int64_t>(u)))
+            .set("to", json::num(static_cast<std::int64_t>(v)))
+            .set("bits", json::num(bits));
+        links.push(std::move(link));
+      }
+    json run = json::object();
+    run.set("run_index", json::num(r.run_index))
+        .set("scenario", json::str(r.scenario))
+        .set("nodes", json::num(r.nodes))
+        .set("dc1_claim_bits", json::num(r.dc1_claim_bits))
+        .set("links", std::move(links));
+    runs.push(std::move(run));
+  }
+  json doc = json::object();
+  doc.set("bench", json::str("runtime-trace"))
+      .set("sweep", json::str(sweep_name))
+      .set("base_seed", json::str(hex_seed(base_seed)))
+      .set("runs", std::move(runs));
   return doc;
 }
 

@@ -66,6 +66,7 @@ struct run_record {
   std::string adversary;
   std::string propagation;
   std::string flag_protocol;
+  std::string claim_backend;      ///< Phase-3 DC1 claim-dissemination engine
   int instances = 0;
   std::uint64_t words = 0;
   std::vector<int> corrupt;       ///< corrupt node ids chosen for this run
@@ -85,6 +86,18 @@ struct run_record {
   int mismatch_instances = 0;
   int phase1_only_instances = 0;
   int default_outcome_instances = 0;
+  /// Wire bits DC1's claim dissemination consumed across the session (0
+  /// when no dispute phase ran) and, for the collapsed backend, how many
+  /// (claimant, receiver) pairs needed the full-transcript retrieval
+  /// fallback — the per-backend accounting the Theta(n^f) -> polynomial
+  /// claim-traffic claim is asserted against.
+  std::uint64_t dc1_claim_bits = 0;
+  int dc1_fallbacks = 0;
+
+  /// Per-link traffic matrix (universe x universe, row-major bits), filled
+  /// only when the sweep ran with trace capture (fleet --trace); empty
+  /// otherwise so BENCH_runtime.json stays byte-stable.
+  std::vector<std::uint64_t> traffic;
 
   // Pipelined-propagation runs only (0 otherwise): Appendix-D pipe depth
   // and the measured pipelined-vs-sequential speedup.
@@ -134,6 +147,12 @@ std::string hex_seed(std::uint64_t seed);
 json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int jobs,
                     const std::vector<run_record>& records, double wall_seconds,
                     const std::map<std::string, double>* family_wall_seconds = nullptr);
+
+/// The fleet --trace document: per-run sparse traffic matrices (one entry
+/// per link that carried bits) from records captured with ambient traces.
+/// Runs without traffic data are skipped. Deterministic for fixed records.
+json trace_document(const std::string& sweep_name, std::uint64_t base_seed,
+                    const std::vector<run_record>& records);
 
 /// Writes `doc.dump()` to `path` (throws nab::error on I/O failure).
 void write_json_file(const std::string& path, const json& doc);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <optional>
 
 #include "core/omega_cache.hpp"
 #include "core/pipeline.hpp"
 #include "core/session.hpp"
 #include "runtime/executor.hpp"
+#include "sim/trace.hpp"
 #include "util/error.hpp"
 
 namespace nab::runtime {
@@ -61,7 +63,7 @@ graph::digraph build_valid_topology(const scenario& s, std::uint64_t run_seed) {
 }  // namespace
 
 run_record execute_scenario(const scenario& s, int run_index,
-                            std::uint64_t sweep_seed) {
+                            std::uint64_t sweep_seed, bool capture_trace) {
   const std::uint64_t run_seed =
       derive_run_seed(sweep_seed, static_cast<std::uint64_t>(run_index));
 
@@ -75,8 +77,22 @@ run_record execute_scenario(const scenario& s, int run_index,
   rec.adversary = to_string(s.adversary);
   rec.propagation = to_string(s.propagation);
   rec.flag_protocol = to_string(s.flag_protocol);
+  rec.claim_backend = to_string(s.claim_backend);
   rec.instances = s.instances;
   rec.words = s.words;
+
+  // The trace is thread-confined (this run only) and reduced into the
+  // record's traffic matrix before return; every sim::network the session
+  // constructs on this thread attaches it automatically.
+  sim::trace run_trace;
+  std::optional<sim::scoped_ambient_trace> trace_scope;
+  if (capture_trace) trace_scope.emplace(&run_trace);
+  const auto reduce_trace = [&](int universe) {
+    if (!capture_trace) return;
+    rec.traffic.assign(static_cast<std::size_t>(universe) * universe, 0);
+    for (const sim::trace_event& e : run_trace.events())
+      rec.traffic[static_cast<std::size_t>(e.from) * universe + e.to] += e.bits;
+  };
 
   graph::digraph g = build_valid_topology(s, run_seed);
   rec.nodes = g.universe();
@@ -112,6 +128,7 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.pipeline_speedup = stats.speedup();
     rec.agreement = stats.all_agreed;
     rec.validity = stats.all_valid;
+    reduce_trace(rec.nodes);
     return rec;
   }
 
@@ -132,6 +149,8 @@ run_record execute_scenario(const scenario& s, int run_index,
   cfg.coding_seed = splitmix64(run_seed ^ 0x5eedULL);
   cfg.propagation = s.propagation;
   cfg.flag_protocol = s.flag_protocol;
+  cfg.claim_backend = s.claim_backend;
+  cfg.certify_cost_limit = s.certify_cost_limit;
 
   // One run arena per executor shard (thread-confined, reused across every
   // run the shard executes): the steady-state sweep allocates nothing — each
@@ -153,6 +172,8 @@ run_record execute_scenario(const scenario& s, int run_index,
   rec.bits_broadcast = run.stats.bits_broadcast;
   rec.throughput = run.stats.throughput();
   rec.dispute_phases = run.stats.dispute_phases;
+  rec.dc1_claim_bits = run.stats.claim_bits;
+  rec.dc1_fallbacks = run.stats.claim_fallbacks;
   rec.disputes = static_cast<int>(run.disputes.pairs().size());
   rec.convictions = static_cast<int>(run.disputes.convicted().size());
   double tau_total = 0.0;
@@ -175,19 +196,21 @@ run_record execute_scenario(const scenario& s, int run_index,
     if (faults.is_honest(v)) rec.conviction_sound = false;
   rec.dispute_bound = rec.dispute_phases <= s.f * (s.f + 1);
 
+  reduce_trace(rec.nodes);
   return rec;
 }
 
 std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
     const std::function<void(const run_record&)>& on_done,
-    std::vector<double>* run_wall_seconds) {
+    std::vector<double>* run_wall_seconds, bool capture_traces) {
   std::vector<run_record> records(sweep.size());
   if (run_wall_seconds != nullptr) run_wall_seconds->assign(sweep.size(), 0.0);
   std::mutex done_mu;
   parallel_for_each_index(jobs, sweep.size(), [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
-    records[i] = execute_scenario(sweep[i], static_cast<int>(i), sweep_seed);
+    records[i] =
+        execute_scenario(sweep[i], static_cast<int>(i), sweep_seed, capture_traces);
     if (run_wall_seconds != nullptr)
       (*run_wall_seconds)[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -14,8 +14,13 @@ namespace nab::runtime {
 /// corrupt set, instantiates the adversary, runs the session via
 /// core::run_session, and evaluates every paper invariant into the record.
 /// A pure function of its arguments — the determinism contract rests on it.
+/// `capture_trace` attaches a per-run ambient traffic trace
+/// (sim::scoped_ambient_trace, thread-confined) and reduces it into
+/// run_record::traffic; traced bits are workload-determined, so records stay
+/// comparable across thread counts.
 run_record execute_scenario(const scenario& s, int run_index,
-                            std::uint64_t sweep_seed);
+                            std::uint64_t sweep_seed,
+                            bool capture_trace = false);
 
 /// Fans the sweep out over `jobs` workers (see executor.hpp). Results are
 /// indexed by sweep position, so the output is identical for every `jobs`
@@ -27,6 +32,7 @@ run_record execute_scenario(const scenario& s, int run_index,
 std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
     const std::function<void(const run_record&)>& on_done = {},
-    std::vector<double>* run_wall_seconds = nullptr);
+    std::vector<double>* run_wall_seconds = nullptr,
+    bool capture_traces = false);
 
 }  // namespace nab::runtime

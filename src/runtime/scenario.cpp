@@ -98,6 +98,9 @@ std::string axis_suffix(const scenario_family& fam, const scenario& s) {
   if (fam.word_counts.size() > 1) out += "/w" + std::to_string(s.words);
   if (fam.propagations.size() > 1) out += "/" + to_string(s.propagation);
   if (fam.flag_protocols.size() > 1) out += "/" + to_string(s.flag_protocol);
+  // "cb-" disambiguates from the flag-protocol suffix (both axes share the
+  // "eig"/"phase_king" value names).
+  if (fam.claim_backends.size() > 1) out += "/cb-" + to_string(s.claim_backend);
   return out;
 }
 
@@ -106,7 +109,7 @@ std::string axis_suffix(const scenario_family& fam, const scenario& s) {
 std::vector<scenario> scenario_family::expand() const {
   NAB_ASSERT(!topologies.empty() && !fault_budgets.empty() && !adversaries.empty() &&
                  !word_counts.empty() && !propagations.empty() &&
-                 !flag_protocols.empty(),
+                 !flag_protocols.empty() && !claim_backends.empty(),
              "scenario_family with an empty axis");
   std::vector<scenario> out;
   for (const topology_spec& topo : topologies)
@@ -114,20 +117,23 @@ std::vector<scenario> scenario_family::expand() const {
       for (adversary_kind adv : adversaries)
         for (std::uint64_t w : word_counts)
           for (core::propagation_mode prop : propagations)
-            for (bb::bb_protocol proto : flag_protocols) {
-              scenario s;
-              s.family = name;
-              s.topology = topo;
-              s.f = f;
-              s.adversary = adv;
-              s.words = w;
-              s.propagation = prop;
-              s.flag_protocol = proto;
-              s.instances = instances;
-              s.rotate_sources = rotate_sources;
-              s.name = name + axis_suffix(*this, s);
-              out.push_back(std::move(s));
-            }
+            for (bb::bb_protocol proto : flag_protocols)
+              for (bb::claim_backend backend : claim_backends) {
+                scenario s;
+                s.family = name;
+                s.topology = topo;
+                s.f = f;
+                s.adversary = adv;
+                s.words = w;
+                s.propagation = prop;
+                s.flag_protocol = proto;
+                s.claim_backend = backend;
+                s.instances = instances;
+                s.rotate_sources = rotate_sources;
+                s.certify_cost_limit = certify_cost_limit;
+                s.name = name + axis_suffix(*this, s);
+                out.push_back(std::move(s));
+              }
   return out;
 }
 
@@ -264,12 +270,15 @@ std::vector<scenario_family> build_registry() {
     fam.description =
         "Binary hypercube dim 5 (32 nodes, connectivity 5, f <= 2): the "
         "structured-sparse scaling point where the column-limited batched "
-        "certifier wins. Flags run phase-king via auto_select (EIG's n^f "
-        "tree is the known n=32 bottleneck).";
+        "certifier wins. Flags run phase-king via auto_select, and the "
+        "claim backend auto-collapses at f = 2 (EIG's Theta(n^f)*L DC1 was "
+        "the documented n=32 bottleneck: 12.7 GiB of claim traffic per "
+        "dispute phase, now 23 MiB).";
     fam.topologies = {{.kind = tk::hypercube, .param_a = 5, .cap_lo = 2}};
     fam.fault_budgets = {1, 2};
     fam.adversaries = {ak::honest, ak::p1_garble};
     fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.claim_backends = {bb::claim_backend::auto_select};
     fam.instances = 3;
     reg.push_back(std::move(fam));
   }
@@ -285,6 +294,49 @@ std::vector<scenario_family> build_registry() {
     fam.adversaries = {ak::honest, ak::p1_garble, ak::stealth};
     fam.flag_protocols = {bb::bb_protocol::auto_select};
     fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
+  // --- n = 64 presets (unlocked by the collapsed claim backend: EIG's
+  // --- Theta(n^f)*L DC1 made any dispute phase at this scale infeasible). ---
+  {
+    scenario_family fam;
+    fam.name = "k64_dense";
+    fam.description =
+        "64-node dense random-regular overlay (d = 10): the K_64-class "
+        "scaling point. DC1 under EIG would relay ~65 full-transcript "
+        "labels to 64 receivers for each of 65 claimants; the collapsed "
+        "backend pays n^2 digests + one transcript copy per pair. The "
+        "degree is the densest the batched certifier's sparse regime "
+        "certifies in seconds at this size (f = 1's leave-one-out Omega_k "
+        "re-pushes long prefixes), with the cost gate raised so the rank "
+        "checks actually run.";
+    fam.topologies = {{.kind = tk::random_regular, .n = 64, .param_a = 10,
+                       .cap_lo = 1, .cap_hi = 1}};
+    fam.fault_budgets = {1};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.claim_backends = {bb::claim_backend::collapsed};
+    fam.instances = 2;
+    fam.certify_cost_limit = 4'000'000'000;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "hypercube_d6";
+    fam.description =
+        "Binary hypercube dim 6 (64 nodes, connectivity 6, f <= 2): the "
+        "structured-sparse n = 64 point. Omega_2 holds C(64,2) = 2016 "
+        "subgraphs; the raised certification gate keeps the rank checks "
+        "running, and the collapsed claim backend keeps dispute phases "
+        "polynomial where EIG's n^f label tree could not run at all.";
+    fam.topologies = {{.kind = tk::hypercube, .param_a = 6, .cap_lo = 1}};
+    fam.fault_budgets = {1, 2};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.flag_protocols = {bb::bb_protocol::auto_select};
+    fam.claim_backends = {bb::claim_backend::collapsed};
+    fam.instances = 2;
+    fam.certify_cost_limit = 4'000'000'000;
     reg.push_back(std::move(fam));
   }
 
@@ -327,6 +379,23 @@ std::vector<scenario_family> build_registry() {
                         core::propagation_mode::store_and_forward,
                         core::propagation_mode::pipelined};
     fam.instances = 3;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "ablation-claims";
+    fam.description =
+        "EIG vs batched phase-king vs collapsed for the Phase-3 claim "
+        "broadcast on K_9 with an f = 2 coalition (false flags force a "
+        "dispute phase every instance; stealth farms real disputes): "
+        "dispute sets, convictions, and agreed values must be byte-identical "
+        "across backends — only the DC1 claim bytes move.";
+    fam.topologies = {{.kind = tk::complete, .n = 9, .cap_lo = 1, .cap_hi = 1}};
+    fam.fault_budgets = {2};
+    fam.adversaries = {ak::false_flag, ak::stealth};
+    fam.claim_backends = {bb::claim_backend::eig, bb::claim_backend::phase_king,
+                          bb::claim_backend::collapsed};
+    fam.instances = 4;
     reg.push_back(std::move(fam));
   }
   {
@@ -451,6 +520,16 @@ std::string to_string(bb::bb_protocol p) {
   return "?";
 }
 
+std::string to_string(bb::claim_backend b) {
+  switch (b) {
+    case bb::claim_backend::auto_select: return "auto";
+    case bb::claim_backend::eig: return "eig";
+    case bb::claim_backend::phase_king: return "phase_king";
+    case bb::claim_backend::collapsed: return "collapsed";
+  }
+  return "?";
+}
+
 namespace {
 
 template <typename Enum>
@@ -498,6 +577,13 @@ bb::bb_protocol flag_protocol_from_string(std::string_view s) {
   return parse_enum(s, all, "flag protocol");
 }
 
+bb::claim_backend claim_backend_from_string(std::string_view s) {
+  static const std::vector<bb::claim_backend> all = {
+      bb::claim_backend::auto_select, bb::claim_backend::eig,
+      bb::claim_backend::phase_king, bb::claim_backend::collapsed};
+  return parse_enum(s, all, "claim backend");
+}
+
 std::map<std::string, std::string> scenario_to_params(const scenario& s) {
   std::map<std::string, std::string> p;
   p["name"] = s.name;
@@ -518,9 +604,11 @@ std::map<std::string, std::string> scenario_to_params(const scenario& s) {
   p["adversary"] = to_string(s.adversary);
   p["propagation"] = to_string(s.propagation);
   p["flag_protocol"] = to_string(s.flag_protocol);
+  p["claim_backend"] = to_string(s.claim_backend);
   p["instances"] = std::to_string(s.instances);
   p["words"] = std::to_string(s.words);
   p["rotate_sources"] = s.rotate_sources ? "1" : "0";
+  p["certify_cost_limit"] = std::to_string(s.certify_cost_limit);
   return p;
 }
 
@@ -570,10 +658,12 @@ scenario scenario_from_params(const std::map<std::string, std::string>& params) 
   s.adversary = adversary_kind_from_string(param(params, "adversary"));
   s.propagation = propagation_from_string(param(params, "propagation"));
   s.flag_protocol = flag_protocol_from_string(param(params, "flag_protocol"));
+  s.claim_backend = claim_backend_from_string(param(params, "claim_backend"));
   s.instances = numeric(params, "instances", to_int);
-  s.words = numeric(params, "words",
-                    [](const std::string& v) { return std::stoull(v); });
+  const auto to_u64 = [](const std::string& v) { return std::stoull(v); };
+  s.words = numeric(params, "words", to_u64);
   s.rotate_sources = param(params, "rotate_sources") == "1";
+  s.certify_cost_limit = numeric(params, "certify_cost_limit", to_u64);
   return s;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bb/broadcast.hpp"
+#include "bb/claim_bcast.hpp"
 #include "core/adversary.hpp"
 #include "core/phase1.hpp"
 #include "graph/digraph.hpp"
@@ -84,9 +85,15 @@ struct scenario {
   adversary_kind adversary = adversary_kind::honest;
   core::propagation_mode propagation = core::propagation_mode::cut_through;
   bb::bb_protocol flag_protocol = bb::bb_protocol::eig;
+  /// Phase-3 DC1 claim-dissemination backend (bb/claim_bcast.hpp).
+  bb::claim_backend claim_backend = bb::claim_backend::eig;
   int instances = 4;              ///< NAB instances per run (amortization)
   std::uint64_t words = 64;       ///< 16-bit words per input (L = 16*words)
   bool rotate_sources = false;
+  /// Certification cost gate handed to session_config (GF-op estimate above
+  /// which the session trusts Theorem 1 instead of certifying). The n = 64
+  /// presets raise it so certification actually runs at their Omega_k sizes.
+  std::uint64_t certify_cost_limit = 1'000'000'000;
 
   bool operator==(const scenario&) const = default;
 };
@@ -105,8 +112,11 @@ struct scenario_family {
   std::vector<core::propagation_mode> propagations = {
       core::propagation_mode::cut_through};
   std::vector<bb::bb_protocol> flag_protocols = {bb::bb_protocol::eig};
+  /// The claim-backends axis: which DC1 engines the family sweeps.
+  std::vector<bb::claim_backend> claim_backends = {bb::claim_backend::eig};
   int instances = 4;
   bool rotate_sources = false;
+  std::uint64_t certify_cost_limit = 1'000'000'000;
 
   /// Cartesian product over all axes, deterministic order (topology-major).
   std::vector<scenario> expand() const;
@@ -130,10 +140,12 @@ std::string to_string(topology_kind k);
 std::string to_string(adversary_kind k);
 std::string to_string(core::propagation_mode m);
 std::string to_string(bb::bb_protocol p);
+std::string to_string(bb::claim_backend b);
 topology_kind topology_kind_from_string(std::string_view s);
 adversary_kind adversary_kind_from_string(std::string_view s);
 core::propagation_mode propagation_from_string(std::string_view s);
 bb::bb_protocol flag_protocol_from_string(std::string_view s);
+bb::claim_backend claim_backend_from_string(std::string_view s);
 
 /// Flat key->value encoding of every scenario field, suitable for logs and
 /// exact reconstruction. scenario_from_params(scenario_to_params(s)) == s.

@@ -29,12 +29,13 @@ void network::send(message m) {
   pending_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
 }
 
-void network::charge(graph::node_id u, graph::node_id v, std::uint64_t bits) {
+void network::charge(graph::node_id u, graph::node_id v, std::uint64_t bits,
+                     std::uint64_t tag) {
   if (!topo_.has_edge(u, v))
     throw error("network::charge on nonexistent link " + std::to_string(u) + "->" +
                 std::to_string(v));
   step_bits_[link_index(u, v)] += bits;
-  if (trace_ != nullptr) trace_->record(steps_, u, v, 0, bits);
+  if (trace_ != nullptr) trace_->record(steps_, u, v, tag, bits);
 }
 
 double network::end_step() {

@@ -48,8 +48,12 @@ class network {
 
   /// Charges `bits` on the link u -> v without delivering data. Used to
   /// account for protocol overheads whose content the simulation does not
-  /// model bit-for-bit (e.g. claim dumps in dispute control).
-  void charge(graph::node_id u, graph::node_id v, std::uint64_t bits);
+  /// model bit-for-bit (e.g. claim dumps in dispute control). `tag` labels
+  /// the charge for attached traces (channel emulation forwards the logical
+  /// message's tag so per-protocol wire accounting survives multi-hop
+  /// routing); it never affects time or capacity accounting.
+  void charge(graph::node_id u, graph::node_id v, std::uint64_t bits,
+              std::uint64_t tag = 0);
 
   /// Cumulative simulated time over all completed steps.
   double elapsed() const { return elapsed_; }

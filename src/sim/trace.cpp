@@ -11,6 +11,19 @@ std::uint64_t trace::link_total(graph::node_id from, graph::node_id to) const {
   return total;
 }
 
+std::uint64_t trace::tag_total(std::uint64_t tag) const {
+  std::uint64_t total = 0;
+  for (const trace_event& e : events_)
+    if (e.tag == tag) total += e.bits;
+  return total;
+}
+
+std::uint64_t trace::total_bits() const {
+  std::uint64_t total = 0;
+  for (const trace_event& e : events_) total += e.bits;
+  return total;
+}
+
 std::vector<trace_event> trace::step_events(int step) const {
   std::vector<trace_event> out;
   for (const trace_event& e : events_)

@@ -34,6 +34,16 @@ class trace {
   /// Total bits recorded on link (from, to).
   std::uint64_t link_total(graph::node_id from, graph::node_id to) const;
 
+  /// Total bits recorded under one protocol tag, across all links and steps.
+  /// Sub-protocols that tag their traffic (e.g. the Phase-3 claim backends,
+  /// bb/claim_bcast.hpp) become individually accountable: tests assert the
+  /// claim-byte drop across backends from a trace instead of eyeballing it.
+  std::uint64_t tag_total(std::uint64_t tag) const;
+
+  /// Total bits recorded over all events (equals network::total_bits when
+  /// the trace observed the network for its whole lifetime).
+  std::uint64_t total_bits() const;
+
   /// Events within one step, in charge order.
   std::vector<trace_event> step_events(int step) const;
 

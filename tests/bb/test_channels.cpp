@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "sim/trace.hpp"
 #include "util/error.hpp"
 
 namespace nab::bb {
@@ -51,6 +52,25 @@ TEST(Channels, DeliveryAndAccounting) {
   EXPECT_EQ(plan.inbox(1)[0].payload, (sim::payload{123}));
   EXPECT_EQ(plan.inbox(1)[0].tag, 9u);
   EXPECT_EQ(net.link_bits(0, 1), 10u);
+}
+
+TEST(Channels, TagsSurviveMultiHopEmulation) {
+  // Per-protocol wire accounting (trace::tag_total) relies on end_round
+  // forwarding the logical message's tag onto every link-level charge —
+  // direct links and every hop of every emulated route alike.
+  graph::digraph g = graph::complete(5);
+  g.remove_edge_pair(0, 3);
+  sim::trace t;
+  sim::network net(g);
+  net.attach_trace(&t);
+  sim::fault_set faults(5);
+  channel_plan plan(g, 1);
+  plan.unicast(0, 3, /*tag=*/42, {7}, 10);   // emulated: 3 disjoint paths
+  plan.unicast(0, 1, /*tag=*/42, {8}, 6);    // direct link
+  plan.end_round(net, faults);
+  EXPECT_EQ(t.tag_total(42), net.total_bits());
+  EXPECT_GT(t.tag_total(42), 16u);  // multi-hop routes charge every hop
+  EXPECT_EQ(t.tag_total(0), 0u);
 }
 
 TEST(Channels, EmulatedPathChargesEveryHop) {

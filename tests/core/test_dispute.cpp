@@ -57,5 +57,31 @@ TEST(ExplainingSets, TriangleWithBudgetTwo) {
   EXPECT_THROW(explaining_intersection({{0, 1}, {1, 2}, {0, 2}}, 1), nab::error);
 }
 
+TEST(ExplainingSets, FThreeStarNeedsFourArms) {
+  // With f = 3, three arms can be explained by the three leaves; a fourth
+  // arm forces the center into every explaining set.
+  EXPECT_TRUE(explaining_intersection({{1, 9}, {2, 9}, {3, 9}}, 3).empty());
+  EXPECT_EQ(explaining_intersection({{1, 9}, {2, 9}, {3, 9}, {4, 9}}, 3),
+            (std::vector<graph::node_id>{9}));
+}
+
+TEST(ExplainingSets, FThreeCompositeBudgetForcesBothCenters) {
+  // Two disjoint pairs consume two budget slots, leaving one for a 2-arm
+  // star — its center is forced.
+  EXPECT_EQ(explaining_intersection({{0, 1}, {2, 3}, {4, 8}, {5, 8}}, 3),
+            (std::vector<graph::node_id>{8}));
+  // Two 2-arm stars plus a disjoint pair: both centers forced at once (each
+  // star needs one slot, the pair takes the third).
+  const auto forced =
+      explaining_intersection({{0, 1}, {2, 7}, {3, 7}, {4, 8}, {5, 8}}, 3);
+  EXPECT_EQ(forced, (std::vector<graph::node_id>{7, 8}));
+}
+
+TEST(ExplainingSets, FThreeUncoverableThrows) {
+  // Four disjoint pairs cannot be covered by f = 3 nodes.
+  EXPECT_THROW(explaining_intersection({{0, 1}, {2, 3}, {4, 5}, {6, 7}}, 3),
+               nab::error);
+}
+
 }  // namespace
 }  // namespace nab::core

@@ -11,9 +11,10 @@
 namespace nab::runtime {
 namespace {
 
-// Families chosen to cover random topologies, dispute control, and both
-// flag protocols while staying fast enough for CI.
-constexpr const char* kSweep = "fig1,capacity-skew,ablation-flags,random-regular";
+// Families chosen to cover random topologies, dispute control, both flag
+// protocols, and all three claim backends while staying fast enough for CI.
+constexpr const char* kSweep =
+    "fig1,capacity-skew,ablation-flags,ablation-claims,random-regular";
 
 TEST(Determinism, RecordsAreIdenticalAcrossJobCounts) {
   const std::vector<scenario> sweep = select_scenarios(kSweep);

@@ -112,6 +112,73 @@ TEST(Registry, ScalingPresetsExist) {
   EXPECT_EQ(topology_nodes(find_family("wan_5cluster")->expand().front().topology), 20);
 }
 
+TEST(Registry, N64PresetsPinTheCollapsedClaimBackend) {
+  // The n = 64 families exist because the collapsed backend makes their
+  // dispute phases polynomial; they must stay pinned to it and keep the
+  // raised certification gate that lets the rank checks run at that size.
+  for (const char* name : {"k64_dense", "hypercube_d6"}) {
+    const scenario_family* fam = find_family(name);
+    ASSERT_NE(fam, nullptr) << name;
+    for (const scenario& s : fam->expand()) {
+      EXPECT_EQ(topology_nodes(s.topology), 64) << s.name;
+      EXPECT_EQ(s.claim_backend, bb::claim_backend::collapsed) << s.name;
+      EXPECT_GT(s.certify_cost_limit, 1'000'000'000u) << s.name;
+    }
+  }
+  // The three-backend ablation sweeps all engines on one topology.
+  const scenario_family* ablation = find_family("ablation-claims");
+  ASSERT_NE(ablation, nullptr);
+  std::set<bb::claim_backend> seen;
+  for (const scenario& s : ablation->expand()) seen.insert(s.claim_backend);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Registry, PhaseKingEnginesAreOnlyConfiguredAboveFourF) {
+  // The > 4f precondition of both phase-king engines (flag broadcast and
+  // claim backend) is a registry-time feasibility rule: an undersized preset
+  // would be rejected at session construction, so none may exist. Checked
+  // against the topology's node count (every preset runs BB over the whole
+  // original network).
+  for (const scenario& s : all_scenarios()) {
+    const int n = topology_nodes(s.topology);
+    if (s.flag_protocol == bb::bb_protocol::phase_king)
+      EXPECT_TRUE(bb::phase_king_admissible(static_cast<std::size_t>(n), s.f))
+          << s.name;
+    if (s.claim_backend == bb::claim_backend::phase_king)
+      EXPECT_TRUE(bb::phase_king_admissible(static_cast<std::size_t>(n), s.f))
+          << s.name;
+  }
+}
+
+TEST(Registry, ClaimBackendStringsRoundTrip) {
+  for (auto b : {bb::claim_backend::auto_select, bb::claim_backend::eig,
+                 bb::claim_backend::phase_king, bb::claim_backend::collapsed})
+    EXPECT_EQ(claim_backend_from_string(to_string(b)), b);
+  EXPECT_THROW(claim_backend_from_string("telepathy"), nab::error);
+}
+
+TEST(Registry, TraceCaptureFillsDeterministicTrafficMatrices) {
+  // fleet --trace rides on execute_scenario's capture flag: the traffic
+  // matrix must be filled, workload-determined (identical across repeats),
+  // and absent without the flag so BENCH_runtime.json stays byte-stable.
+  const scenario s = select_scenarios("complete").front();
+  const run_record traced = execute_scenario(s, 0, 11, /*capture_trace=*/true);
+  ASSERT_EQ(traced.traffic.size(),
+            static_cast<std::size_t>(traced.nodes) * traced.nodes);
+  std::uint64_t total = 0;
+  for (std::uint64_t bits : traced.traffic) total += bits;
+  EXPECT_GT(total, 0u);
+
+  const run_record again = execute_scenario(s, 0, 11, /*capture_trace=*/true);
+  EXPECT_EQ(traced, again);
+
+  run_record untraced = execute_scenario(s, 0, 11);
+  EXPECT_TRUE(untraced.traffic.empty());
+  // Everything but the trace matrix matches the traced run.
+  untraced.traffic = traced.traffic;
+  EXPECT_EQ(untraced, traced);
+}
+
 TEST(Registry, PipelinedPropagationIsARunnableAxis) {
   // ablation-propagation now carries the Appendix-D pipelined mode; the
   // runner must execute it via core::run_pipelined, fill the pipeline

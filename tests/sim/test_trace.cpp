@@ -34,6 +34,23 @@ TEST(Trace, RecordsSendsAndCharges) {
   EXPECT_EQ(t.step_events(0).size(), 2u);
 }
 
+TEST(Trace, TagTotalsAccountPerProtocol) {
+  network net{graph::complete(3)};
+  trace t;
+  net.attach_trace(&t);
+  net.send({0, 1, 7, {1}, 32});
+  net.charge(1, 2, 8, /*tag=*/7);   // tagged bare charge (channel emulation)
+  net.charge(2, 0, 16);             // untagged charge
+  net.end_step();
+  net.send({1, 0, 7, {2}, 4});
+  net.end_step();
+  EXPECT_EQ(t.tag_total(7), 32u + 8u + 4u);
+  EXPECT_EQ(t.tag_total(0), 16u);
+  EXPECT_EQ(t.tag_total(99), 0u);
+  EXPECT_EQ(t.total_bits(), 60u);
+  EXPECT_EQ(t.total_bits(), net.total_bits());
+}
+
 TEST(Trace, DetachAndClear) {
   network net{graph::complete(3)};
   trace t;
