@@ -16,6 +16,7 @@
 
 #include "core/nab.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "runtime/metrics.hpp"
 #include "util/heap_alloc_counter.hpp"
 #include "util/rng.hpp"
@@ -100,6 +101,29 @@ result bench_instance_under_attack(int n) {
   return r;
 }
 
+/// Where an instance's wall time goes: the same clean-instance loop run
+/// under an obs collector, reported as one row per depth-1 phase span
+/// (phase1 / equality_check / flags on the clean path). The collector also
+/// exercises the collection-on cost path, so a hot counter site showing up
+/// here before sec/iter moves is the early warning.
+std::vector<result> bench_phase_breakdown(int n, std::size_t words) {
+  nab::core::session s({.g = nab::graph::complete(n), .f = 1},
+                       nab::sim::fault_set(n));
+  nab::rng rand(3);
+  const auto input = random_words(words, rand);
+  s.run_instance(input);  // warm-up: arena pages, channel plan, coding
+  nab::obs::collector col;
+  nab::obs::scoped_collector scope(&col);
+  auto [sec, iters] = measure([&] { s.run_instance(input); });
+  (void)sec;
+  std::vector<result> rows;
+  const std::string label =
+      "n=" + std::to_string(n) + " L=" + std::to_string(16 * words);
+  for (const auto& [phase, secs] : nab::runtime::wall_by_phase_of(col.spans()))
+    rows.push_back({"session_phase/" + phase, label, secs / iters, iters});
+  return rows;
+}
+
 result bench_bounds(int n) {
   const auto g = nab::graph::complete(n);
   auto [sec, iters] = measure([&] { nab::core::compute_bounds(g, 0, 1); });
@@ -129,6 +153,7 @@ int main() {
   // The unpooled heap path at the headline size — the arena's denominator.
   results.push_back(bench_clean_instance(7, 64, /*pool_memory=*/false));
   for (int n : {4, 5, 7}) results.push_back(bench_instance_under_attack(n));
+  for (const result& r : bench_phase_breakdown(7, 64)) results.push_back(r);
   for (int n : {4, 5, 6}) results.push_back(bench_bounds(n));
   for (int n : {4, 5, 6}) results.push_back(bench_certify(n));
 

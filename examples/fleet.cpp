@@ -18,8 +18,17 @@
 //                     and dump them to FILE as JSON (sparse link lists plus
 //                     the per-run DC1 claim bytes — the communication-pattern
 //                     analysis mode)
+//   --timeline FILE   capture per-run phase spans (obs collectors) and dump
+//                     them to FILE as Chrome-trace JSON — load in
+//                     chrome://tracing or ui.perfetto.dev; one process per
+//                     run, spans nested phase1/equality_check/flags/phase3
+//                     down to the claim sub-rounds
 //   --quiet           suppress the per-run progress lines
+//
+// Every sweep ends with a per-phase rollup (top phases by wall time across
+// the sweep, per family) built from the same obs spans.
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +36,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/omega_cache.hpp"
@@ -37,7 +47,8 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
-               "             [--json FILE] [--trace FILE] [--quiet]\n");
+               "             [--json FILE] [--trace FILE] [--timeline FILE] "
+               "[--quiet]\n");
   std::exit(2);
 }
 
@@ -81,6 +92,7 @@ int main(int argc, char** argv) {
   std::string names = "all";
   std::string json_path = "BENCH_runtime.json";
   std::string trace_path;
+  std::string timeline_path;
   int jobs = 1;
   std::uint64_t seed = 1;
   bool quiet = false;
@@ -104,6 +116,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--timeline") {
+      timeline_path = next();
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -129,7 +143,8 @@ int main(int argc, char** argv) {
                       r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
                       r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
         },
-        &run_walls, /*capture_traces=*/!trace_path.empty());
+        &run_walls, /*capture_traces=*/!trace_path.empty(),
+        /*capture_spans=*/!timeline_path.empty());
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -152,6 +167,32 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cache.plan_hits),
         static_cast<unsigned long long>(cache.plan_hits + cache.plan_misses));
 
+    // Per-family phase rollup: the top-3 phases by summed wall time across
+    // the family's runs, from the per-run obs spans. Answers "where did the
+    // sweep's time go" without opening the JSON.
+    {
+      std::map<std::string, std::map<std::string, double>> family_phases;
+      for (const run_record& r : records)
+        for (const auto& [phase, secs] : r.timing.wall_by_phase)
+          family_phases[r.family][phase] += secs;
+      std::printf("fleet: wall by phase (top 3 per family)\n");
+      for (const auto& [family, phases] : family_phases) {
+        std::vector<std::pair<std::string, double>> rows(phases.begin(),
+                                                         phases.end());
+        std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+          return a.second != b.second ? a.second > b.second : a.first < b.first;
+        });
+        std::string line;
+        for (std::size_t i = 0; i < rows.size() && i < 3; ++i) {
+          char cell[96];
+          std::snprintf(cell, sizeof cell, "%s%s=%.3fs", i > 0 ? "  " : "",
+                        rows[i].first.c_str(), rows[i].second);
+          line += cell;
+        }
+        std::printf("  %-22s %s\n", family.c_str(), line.c_str());
+      }
+    }
+
     if (json_path != "-") {
       write_json_file(json_path,
                       sweep_document(names, seed, jobs, records, wall, &family_walls));
@@ -160,6 +201,10 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       write_json_file(trace_path, trace_document(names, seed, records));
       std::printf("fleet: wrote %s\n", trace_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      write_json_file(timeline_path, timeline_document(names, seed, records));
+      std::printf("fleet: wrote %s\n", timeline_path.c_str());
     }
 
     if (s.failed_runs > 0) {

@@ -7,11 +7,17 @@
 
 #include "bb/round_batch.hpp"
 #include "gf/gf2_16.hpp"
+#include "obs/obs.hpp"
+#include "sim/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace nab::bb {
 namespace {
+
+// Traces and timelines print "claim" instead of the raw tag constant.
+[[maybe_unused]] const bool claim_tag_registered =
+    (sim::register_tag_name(claim_traffic_tag, "claim"), true);
 
 // ---------------------------------------------------------------------------
 // Digest: polynomial evaluation over GF(2^16) at four seeded points.
@@ -66,6 +72,9 @@ const digest_tables& digests_for(std::uint64_t seed) {
 
 claim_digest claim_digest_of(const value& payload, std::uint64_t seed) {
   const digest_tables& t = digests_for(seed);
+  // 4 limbs x 4 points per absorbed word (plus the length word), counted in
+  // bulk so the ambient check stays out of the Horner loop.
+  obs::count(obs::counter::gf_mul_ops, 16 * (payload.size() + 1));
   // Horner per point over the limb stream [len limbs..., payload limbs...];
   // accumulators start at 1 so leading zero limbs still shift the state.
   std::array<std::uint16_t, 4> acc = {1, 1, 1, 1};
@@ -426,6 +435,7 @@ claim_outcome broadcast_claims_collapsed(
   };
 
   // ---- Round 1 (PROPOSE): digest + the single direct transcript copy. ----
+  obs::scoped_span propose_span("claim_propose", net.elapsed());
   for (std::size_t q = 0; q < q_count; ++q) {
     const claim_instance& inst = instances[q];
     NAB_ASSERT(channels.topology().is_active(inst.source),
@@ -476,10 +486,12 @@ claim_outcome broadcast_claims_collapsed(
       }
     }
   }
+  propose_span.close(net.elapsed());
 
   // ---- Round 2 (ECHO): a node echoes a digest only while holding a ----
   // ---- matching transcript, so any echo quorum guarantees >= f+1    ----
   // ---- honest holders — what makes the retrieval round total.       ----
+  obs::scoped_span echo_span("claim_echo", net.elapsed());
   for (graph::node_id i : participants) {
     const bool may_lie = faults.is_corrupt(i) && adv != nullptr;
     for (graph::node_id j : participants) {
@@ -495,6 +507,7 @@ claim_outcome broadcast_claims_collapsed(
           echo = adv->echo_digest(i, j, q, echo);
         }
         if (!echo) continue;
+        obs::count(obs::counter::claim_echoes);
         append_digest_item(b.payload, q, echo->packed());
         b.bits += claim_digest_bits + 16;
       }
@@ -520,7 +533,9 @@ claim_outcome broadcast_claims_collapsed(
       }
     }
   }
+  echo_span.close(net.elapsed());
 
+  obs::scoped_span ready_span("claim_ready", net.elapsed());
   // Initial readys: digest with an echo quorum (unique per claimant).
   for (graph::node_id v : participants)
     for (std::size_t q = 0; q < q_count; ++q) {
@@ -560,6 +575,7 @@ claim_outcome broadcast_claims_collapsed(
             }
             if (suppress) continue;
           }
+          obs::count(obs::counter::claim_readys);
           round_batch& b = batches.at(v, j);
           append_digest_item(b.payload, q, dg);
           b.bits += claim_digest_bits + 16;
@@ -599,11 +615,29 @@ claim_outcome broadcast_claims_collapsed(
       for (const auto& [dg, senders] : s.ready_from)
         if (static_cast<int>(senders.size()) >= ready_accept) {
           s.accepted = dg;
+          // Margin gauges, honest observers only: how far this accept sat
+          // above the quorum rules. Record-minimum over the whole run — the
+          // closest the adversary pushed a quorum to its edge.
+          if (faults.is_honest(v)) {
+            obs::gauge_min(obs::gauge::quorum_slack,
+                           static_cast<std::int64_t>(senders.size()) -
+                               ready_accept);
+            const auto holders = s.echo_from.find(dg);
+            std::int64_t honest_holders = 0;
+            if (holders != s.echo_from.end())
+              for (graph::node_id h : holders->second)
+                if (faults.is_honest(h)) ++honest_holders;
+            obs::gauge_min(obs::gauge::hold_surplus, honest_holders - (f + 1));
+          }
           break;
         }
       s.need_fallback = s.accepted && !s.holds(*s.accepted);
-      if (s.need_fallback) ++out.fallback_retrievals;
+      if (s.need_fallback) {
+        obs::count(obs::counter::claim_fallbacks);
+        ++out.fallback_retrievals;
+      }
     }
+  ready_span.close(net.elapsed());
 
   // ---- Retrieval round pair (REQUEST, RESPOND) — zero traffic and zero ----
   // ---- simulated time when every pair was digest-clean. Requests go to ----
@@ -614,6 +648,7 @@ claim_outcome broadcast_claims_collapsed(
   // ---- leave an honest holder that serves the transcript. Per          ----
   // ---- mismatched pair the fallback therefore moves O(f) copies, not   ----
   // ---- O(n).                                                           ----
+  obs::scoped_span retrieval_span("claim_retrieval", net.elapsed());
   std::vector<std::vector<std::pair<std::size_t, graph::node_id>>> requests(
       static_cast<std::size_t>(universe));
   for (graph::node_id v : participants)
@@ -682,6 +717,7 @@ claim_outcome broadcast_claims_collapsed(
       }
     }
   }
+  retrieval_span.close(net.elapsed());
 
   // Decide: the validated transcript when the accepted digest is matched,
   // the default (empty) value otherwise. Acceptance is uniform and any
@@ -706,15 +742,27 @@ claim_outcome broadcast_claims(claim_backend backend, channel_plan& channels,
                                std::uint64_t digest_seed) {
   const std::size_t participants = channels.topology().active_nodes().size();
   switch (resolve_claim_backend(backend, participants, f)) {
-    case claim_backend::eig:
-      return broadcast_claims_eig(channels, net, faults, instances, f, eig_adv,
-                                  relay_adv);
-    case claim_backend::phase_king:
-      return broadcast_claims_phase_king(channels, net, faults, instances, f,
-                                         relay_adv);
-    case claim_backend::collapsed:
-      return broadcast_claims_collapsed(channels, net, faults, instances, f,
-                                        claim_adv, relay_adv, digest_seed);
+    case claim_backend::eig: {
+      obs::scoped_span span("claim_backend_eig", net.elapsed());
+      claim_outcome out = broadcast_claims_eig(channels, net, faults, instances,
+                                               f, eig_adv, relay_adv);
+      span.end_tau(net.elapsed());
+      return out;
+    }
+    case claim_backend::phase_king: {
+      obs::scoped_span span("claim_backend_phase_king", net.elapsed());
+      claim_outcome out = broadcast_claims_phase_king(channels, net, faults,
+                                                      instances, f, relay_adv);
+      span.end_tau(net.elapsed());
+      return out;
+    }
+    case claim_backend::collapsed: {
+      obs::scoped_span span("claim_backend_collapsed", net.elapsed());
+      claim_outcome out = broadcast_claims_collapsed(
+          channels, net, faults, instances, f, claim_adv, relay_adv, digest_seed);
+      span.end_tau(net.elapsed());
+      return out;
+    }
     case claim_backend::auto_select:
       break;  // unreachable: resolve_claim_backend never returns it
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gf/linalg.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace nab::core {
@@ -63,6 +64,7 @@ certification certify_coding(const graph::digraph& g, int f,
   out.ok = true;
   for (const auto& h : omega_subgraphs(g, f, disputes)) {
     if (h.size() <= 1) continue;  // nothing to distinguish
+    obs::count(obs::counter::cert_subgraphs);
     auto ch = build_check_matrix(g, h, coding);
     const std::size_t need = (h.size() - 1) * static_cast<std::size_t>(coding.rho());
     if (gf::rank(std::move(ch)) != need) {
@@ -186,6 +188,7 @@ class batched_certifier {
   }
 
   void insert_basis(std::vector<gfw>&& row, std::size_t pivot_pos) {
+    obs::count(obs::counter::gf_rows_eliminated);
     const std::size_t lead = active_cols_[pivot_pos];
     pivot_of_col_[lead] = static_cast<int>(basis_.size());
     basis_pivot_.push_back(lead);
@@ -193,6 +196,7 @@ class batched_certifier {
   }
 
   frame push_node(graph::node_id x) {
+    obs::count(obs::counter::cert_prefix_pushes);
     frame fr;
     fr.cols_before = active_cols_.size();
     fr.basis_before = basis_.size();
@@ -213,6 +217,7 @@ class batched_certifier {
 
     // 2. Reduce every ghost in place over the new window — the new columns
     //    may give it a pivot (the frame holds its pre-push contents).
+    obs::count(obs::counter::cert_ghost_repushes, fr.ghosts_before.size());
     std::size_t kept = 0;
     for (std::size_t idx : fr.ghosts_before) {
       const std::size_t pos = reduce_row(ghost_arena_[idx], fr.cols_before);
@@ -239,6 +244,7 @@ class batched_certifier {
   }
 
   void pop_node(graph::node_id x, frame&& fr) {
+    obs::count(obs::counter::cert_prefix_pops);
     in_prefix_[static_cast<std::size_t>(x)] = false;
     while (basis_.size() > fr.basis_before) {
       pivot_of_col_[basis_pivot_.back()] = -1;
@@ -254,6 +260,7 @@ class batched_certifier {
 
   void dfs(std::size_t start, certification& out) {
     if (current_.size() == target_) {
+      obs::count(obs::counter::cert_subgraphs);
       if (basis_.size() != (target_ - 1) * rho_) {
         out.ok = false;
         out.failing.push_back(current_);

@@ -5,6 +5,7 @@
 
 #include "bb/claim_bcast.hpp"
 #include "core/phase1.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 
@@ -111,11 +112,16 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
   }
 
   const std::uint64_t wire_before = net.total_bits();
-  const bb::claim_outcome bb_out = bb::broadcast_claims(
-      backend, channels, net, faults, instances, f_bb,
-      adv != nullptr ? adv->eig() : nullptr,
-      adv != nullptr ? adv->claim_bcast() : nullptr,
-      adv != nullptr ? adv->relay() : nullptr, digest_seed);
+  bb::claim_outcome bb_out;
+  {
+    obs::scoped_span span("dc1_claims", net.elapsed());
+    bb_out = bb::broadcast_claims(
+        backend, channels, net, faults, instances, f_bb,
+        adv != nullptr ? adv->eig() : nullptr,
+        adv != nullptr ? adv->claim_bcast() : nullptr,
+        adv != nullptr ? adv->relay() : nullptr, digest_seed);
+    span.end_tau(net.elapsed());
+  }
   outcome.claim_bits = net.total_bits() - wire_before;
   outcome.claim_fallbacks = bb_out.fallback_retrievals;
 
@@ -158,31 +164,36 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
   };
   const std::size_t chunk_size =
       split_into_chunks(ctx.input, static_cast<int>(ctx.trees.size()))[0].size();
-  for (std::size_t t = 0; t < ctx.trees.size(); ++t) {
-    for (const graph::edge& e : ctx.trees[t].edges) {
-      const auto& sent = agreed[static_cast<std::size_t>(e.from)].p1_sent;
-      const auto& rcvd = agreed[static_cast<std::size_t>(e.to)].p1_received;
-      const auto key = std::make_tuple(static_cast<int>(t), e.from, e.to);
+  {
+    obs::scoped_span span("dc2_crosscheck", net.elapsed());
+    for (std::size_t t = 0; t < ctx.trees.size(); ++t) {
+      for (const graph::edge& e : ctx.trees[t].edges) {
+        const auto& sent = agreed[static_cast<std::size_t>(e.from)].p1_sent;
+        const auto& rcvd = agreed[static_cast<std::size_t>(e.to)].p1_received;
+        const auto key = std::make_tuple(static_cast<int>(t), e.from, e.to);
+        const auto si = sent.find(key);
+        const auto ri = rcvd.find(key);
+        chunk s = si == sent.end() ? chunk{} : si->second;
+        chunk r = ri == rcvd.end() ? chunk{} : ri->second;
+        s.resize(chunk_size, 0);
+        r.resize(chunk_size, 0);
+        if (s != r) note_dispute(e.from, e.to);
+      }
+    }
+    for (const graph::edge& e : gk.edges()) {
+      const auto& sent = agreed[static_cast<std::size_t>(e.from)].p2_sent;
+      const auto& rcvd = agreed[static_cast<std::size_t>(e.to)].p2_received;
+      const auto key = std::make_pair(e.from, e.to);
       const auto si = sent.find(key);
       const auto ri = rcvd.find(key);
-      chunk s = si == sent.end() ? chunk{} : si->second;
-      chunk r = ri == rcvd.end() ? chunk{} : ri->second;
-      s.resize(chunk_size, 0);
-      r.resize(chunk_size, 0);
-      if (s != r) note_dispute(e.from, e.to);
+      const bool both_present = si != sent.end() && ri != rcvd.end();
+      if (!both_present || !(si->second == ri->second)) note_dispute(e.from, e.to);
     }
-  }
-  for (const graph::edge& e : gk.edges()) {
-    const auto& sent = agreed[static_cast<std::size_t>(e.from)].p2_sent;
-    const auto& rcvd = agreed[static_cast<std::size_t>(e.to)].p2_received;
-    const auto key = std::make_pair(e.from, e.to);
-    const auto si = sent.find(key);
-    const auto ri = rcvd.find(key);
-    const bool both_present = si != sent.end() && ri != rcvd.end();
-    if (!both_present || !(si->second == ri->second)) note_dispute(e.from, e.to);
+    span.end_tau(net.elapsed());
   }
 
   // ---- DC3: replay prescribed behavior from claimed receipts. ----
+  obs::scoped_span dc3_span("dc3_replay", net.elapsed());
   const auto gamma = static_cast<int>(ctx.trees.size());
   const std::vector<chunk> agreed_chunks =
       split_into_chunks(outcome.agreed_value, gamma);
@@ -263,16 +274,21 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
     for (graph::node_id u : gk.out_neighbors(v)) note_dispute(v, u);
     for (graph::node_id u : gk.in_neighbors(v)) note_dispute(v, u);
   }
+  dc3_span.close(net.elapsed());
 
   // ---- DC4: intersection of all explaining sets. ----
-  for (graph::node_id v : explaining_intersection(record.pairs(), f))
-    convicted_now.insert(v);
+  {
+    obs::scoped_span span("dc4_intersection", net.elapsed());
+    for (graph::node_id v : explaining_intersection(record.pairs(), f))
+      convicted_now.insert(v);
 
-  for (graph::node_id v : convicted_now) {
-    if (!record.is_convicted(v)) {
-      record.convict(v);
-      outcome.newly_convicted.push_back(v);
+    for (graph::node_id v : convicted_now) {
+      if (!record.is_convicted(v)) {
+        record.convict(v);
+        outcome.newly_convicted.push_back(v);
+      }
     }
+    span.end_tau(net.elapsed());
   }
 
   outcome.time = net.elapsed() - t0;

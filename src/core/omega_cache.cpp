@@ -4,6 +4,7 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/maxflow.hpp"
+#include "obs/obs.hpp"
 
 namespace nab::core {
 
@@ -60,20 +61,28 @@ omega_cache& omega_cache::instance() {
 template <class V, class Compute>
 std::shared_ptr<const V> omega_cache::get_or_compute(
     table<V>& tbl, canonical_key key, std::atomic<std::uint64_t>& hits,
-    std::atomic<std::uint64_t>& misses, const Compute& compute) {
+    std::atomic<std::uint64_t>& misses, const char* fill_span,
+    const Compute& compute) {
+  obs::count(obs::counter::cache_lookups);
   const std::uint64_t fp = fingerprint_words(key);
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (auto hit = find_entry<V>(tbl, fp, key)) {
       hits.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::counter::cache_hits);
       return hit;
     }
   }
 
-  std::shared_ptr<const V> value = compute();
+  std::shared_ptr<const V> value;
+  {
+    obs::scoped_span span(fill_span);
+    value = compute();
+  }
 
   std::unique_lock<std::shared_mutex> lock(mu_);
   misses.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::counter::cache_misses);
   if (auto hit = find_entry<V>(tbl, fp, key)) return hit;
   tbl[fp].push_back({std::move(key), value});
   return value;
@@ -90,7 +99,7 @@ std::shared_ptr<const omega_analysis> omega_cache::analyze(
     key.push_back(b);
   }
   return get_or_compute(analyses_, std::move(key), analysis_hits_, analysis_misses_,
-                        [&] {
+                        "omega_cache/fill_analysis", [&] {
                           auto value = std::make_shared<omega_analysis>();
                           value->omega = omega_subgraphs(g, f, disputes);
                           value->uk = compute_uk(g, value->omega);
@@ -104,7 +113,8 @@ std::shared_ptr<const phase1_plan> omega_cache::plan_for(const graph::digraph& g
   canonical_key key;
   serialize_graph(g, key);
   key.push_back(source);
-  return get_or_compute(plans_, std::move(key), plan_hits_, plan_misses_, [&] {
+  return get_or_compute(plans_, std::move(key), plan_hits_, plan_misses_,
+                        "omega_cache/fill_plan", [&] {
     auto value = std::make_shared<phase1_plan>();
     value->gamma = graph::broadcast_mincut(g, source);
     if (value->gamma >= 1)
@@ -119,7 +129,7 @@ bool omega_cache::connectivity_at_least(const graph::digraph& g, int k) {
   serialize_graph(g, key);
   key.push_back(k);
   return *get_or_compute(connectivity_, std::move(key), connectivity_hits_,
-                         connectivity_misses_, [&] {
+                         connectivity_misses_, "omega_cache/fill_connectivity", [&] {
                            return std::make_shared<int>(
                                graph::global_vertex_connectivity_at_least(g, k) ? 1
                                                                                 : 0);
@@ -131,7 +141,8 @@ std::shared_ptr<const bb::channel_plan::route_table> omega_cache::channel_routes
   canonical_key key;
   serialize_graph(g, key);
   key.push_back(f);
-  return get_or_compute(routes_, std::move(key), route_hits_, route_misses_, [&] {
+  return get_or_compute(routes_, std::move(key), route_hits_, route_misses_,
+                        "omega_cache/fill_routes", [&] {
     return std::make_shared<const bb::channel_plan::route_table>(
         bb::channel_plan::build_routes(g, f));
   });

@@ -111,10 +111,15 @@ class omega_cache {
   /// distinct keys proceed in parallel; a duplicate racing compute loses
   /// the insert and adopts the winner's value), unique-lock re-probe +
   /// insert. Counters are atomics because hits tick under the shared lock.
+  /// `fill_span` names the obs span wrapped around the compute (misses only
+  /// — which run pays one is scheduling-dependent, so fill spans and the
+  /// per-run hit/miss counters belong to the machine set; the lookup count
+  /// is the deterministic companion).
   template <class V, class Compute>
   std::shared_ptr<const V> get_or_compute(table<V>& tbl, canonical_key key,
                                           std::atomic<std::uint64_t>& hits,
                                           std::atomic<std::uint64_t>& misses,
+                                          const char* fill_span,
                                           const Compute& compute);
 
   mutable std::shared_mutex mu_;

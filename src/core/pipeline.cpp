@@ -12,6 +12,7 @@
 #include "core/value.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/tree_packing.hpp"
+#include "obs/obs.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "util/assert.hpp"
@@ -113,6 +114,7 @@ pipeline_stats run_pipelined(const pipeline_config& cfg, int q, std::size_t word
   const int total_rounds = q + sched.depth - 1;
   double flags_time_total = 0.0;
   double ec_time_total = 0.0;
+  obs::scoped_span schedule_span("pipelined_schedule", net.elapsed());
   for (int r = 0; r < total_rounds; ++r) {
     // Hop transmissions of every in-flight instance — disjoint levels, so
     // no two instances load the same tree edge in the same round.
@@ -160,6 +162,7 @@ pipeline_stats run_pipelined(const pipeline_config& cfg, int q, std::size_t word
       flags_time_total += flags.time;
     }
   }
+  schedule_span.close(net.elapsed());
   stats.elapsed = net.elapsed();
   stats.all_agreed = true;  // fault-free by construction; validity checked above
 

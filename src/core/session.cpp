@@ -7,6 +7,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/tree_packing.hpp"
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
@@ -49,6 +50,7 @@ session::session(session_config cfg, const sim::fault_set& faults, nab_adversary
 
 void session::refresh_graph_state() {
   if (!dirty_) return;
+  obs::scoped_span refresh_span("refresh_graph");
   // Everything refreshed here (analysis, coding matrices, per-source plans)
   // outlives the instance that triggered the refresh — keep it off the run
   // arena even when called from inside run_instance's ambient scope.
@@ -71,11 +73,19 @@ void session::refresh_graph_state() {
           cfg_.certify_cost_limit)
     certify = false;
   for (int attempt = 0;; ++attempt) {
-    coding_ = coding_scheme::generate(gk_, static_cast<int>(rho_),
-                                      cfg_.coding_seed + coding_generation_);
+    {
+      obs::scoped_span gen_span("coding_generate");
+      coding_ = coding_scheme::generate(gk_, static_cast<int>(rho_),
+                                        cfg_.coding_seed + coding_generation_);
+    }
     ++coding_generation_;
     if (!certify) break;
-    if (certify_coding_batched(gk_, cfg_.f, record_, coding_).ok) break;
+    bool certified = false;
+    {
+      obs::scoped_span cert_span("certify");
+      certified = certify_coding_batched(gk_, cfg_.f, record_, coding_).ok;
+    }
+    if (certified) break;
     if (attempt >= 8)
       throw error("session: failed to certify coding matrices after 8 seeds — "
                   "U_k is likely too small for rho_k (see DESIGN.md §8)");
@@ -141,6 +151,11 @@ instance_report session::run_instance(const std::vector<word>& input,
     }
   } epoch{this};
 
+  // Instance span: every phase span below nests under it. Declared after the
+  // epoch guard so it closes (and its record is final) before the arena
+  // rewinds. tau starts at 0 — each instance gets a fresh network clock.
+  obs::scoped_span instance_span("instance", 0.0);
+
   instance_report report;
   report.index = stats_.instances;
   report.outputs.assign(static_cast<std::size_t>(gk_.universe()), {});
@@ -175,8 +190,13 @@ instance_report session::run_instance(const std::vector<word>& input,
   sim::network net(cfg_.g);
 
   // ---- Phase 1: unreliable broadcast over the arborescence packing. ----
-  const phase1_result p1 = run_phase1(net, gk_, faults_, source, input, st.trees,
-                                      adv_, cfg_.propagation);
+  phase1_result p1;
+  {
+    obs::scoped_span span("phase1", net.elapsed());
+    p1 = run_phase1(net, gk_, faults_, source, input, st.trees, adv_,
+                    cfg_.propagation);
+    span.end_tau(net.elapsed());
+  }
   report.time_phase1 = p1.time;
 
   // Special case 2: with >= f nodes excluded, every remaining node is
@@ -193,8 +213,12 @@ instance_report session::run_instance(const std::vector<word>& input,
     for (graph::node_id v : gk_.active_nodes())
       values[static_cast<std::size_t>(v)] = value_vector::reshape(
           p1.received[static_cast<std::size_t>(v)], static_cast<int>(rho_));
-    const equality_check_result ec =
-        run_equality_check(net, gk_, faults_, coding_, values, adv_);
+    equality_check_result ec;
+    {
+      obs::scoped_span span("equality_check", net.elapsed());
+      ec = run_equality_check(net, gk_, faults_, coding_, values, adv_);
+      span.end_tau(net.elapsed());
+    }
     report.time_equality_check = ec.time;
 
     // ---- Phase 2, step 2.2: classical BB of the 1-bit flags. ----
@@ -214,16 +238,22 @@ instance_report session::run_instance(const std::vector<word>& input,
                    ? bb::bb_protocol::phase_king
                    : bb::bb_protocol::eig;
     }
-    const bb::flags_outcome flags =
-        engine == bb::bb_protocol::phase_king
-            ? bb::broadcast_flags_phase_king(ensure_channels(), net, faults_,
-                                             flag_inputs, cfg_.f, gk_.active_nodes(),
-                                             nullptr,
-                                             adv_ != nullptr ? adv_->relay() : nullptr)
-            : bb::broadcast_flags(ensure_channels(), net, faults_, flag_inputs, cfg_.f,
-                                  gk_.active_nodes(),
-                                  adv_ != nullptr ? adv_->eig() : nullptr,
-                                  adv_ != nullptr ? adv_->relay() : nullptr);
+    bb::flags_outcome flags;
+    {
+      obs::scoped_span span("flags", net.elapsed());
+      flags =
+          engine == bb::bb_protocol::phase_king
+              ? bb::broadcast_flags_phase_king(ensure_channels(), net, faults_,
+                                               flag_inputs, cfg_.f,
+                                               gk_.active_nodes(), nullptr,
+                                               adv_ != nullptr ? adv_->relay()
+                                                               : nullptr)
+              : bb::broadcast_flags(ensure_channels(), net, faults_, flag_inputs,
+                                    cfg_.f, gk_.active_nodes(),
+                                    adv_ != nullptr ? adv_->eig() : nullptr,
+                                    adv_ != nullptr ? adv_->relay() : nullptr);
+      span.end_tau(net.elapsed());
+    }
     report.time_flags = flags.time;
 
     // All honest nodes hold identical agreed flags; read them off one.
@@ -272,10 +302,14 @@ instance_report session::run_instance(const std::vector<word>& input,
       // participant count — one resolution authority for every caller. The
       // coding seed doubles as the digest-point seed: per-run shared
       // protocol state, exactly like the coding matrices.
-      const dispute_outcome dc =
-          run_dispute_control(net, ensure_channels(), gk_, faults_, cfg_.f, cfg_.f,
-                              ctx, record_, adv_, cfg_.claim_backend,
-                              cfg_.coding_seed);
+      dispute_outcome dc;
+      {
+        obs::scoped_span span("phase3", net.elapsed());
+        dc = run_dispute_control(net, ensure_channels(), gk_, faults_, cfg_.f,
+                                 cfg_.f, ctx, record_, adv_, cfg_.claim_backend,
+                                 cfg_.coding_seed);
+        span.end_tau(net.elapsed());
+      }
       report.time_phase3 = dc.time;
       report.claim_bits = dc.claim_bits;
       report.claim_fallbacks = dc.claim_fallbacks;
@@ -311,6 +345,7 @@ instance_report session::run_instance(const std::vector<word>& input,
   stats_.elapsed += net.elapsed();
   stats_.bits_broadcast += 16 * input.size();
   ++stats_.instances;
+  instance_span.end_tau(net.elapsed());
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gf/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace nab::gf {
 
@@ -77,6 +78,7 @@ std::size_t row_reduce(matrix<F>& m, std::vector<std::size_t>* pivot_cols = null
     if (pivot_cols != nullptr) pivot_cols->push_back(col);
     ++rank;
   }
+  obs::count(obs::counter::gf_rows_eliminated, rank);
   return rank;
 }
 

@@ -173,7 +173,21 @@ std::string hex_seed(std::uint64_t seed) {
   return buf;
 }
 
-json run_record::to_json() const {
+std::vector<std::pair<std::string, double>> wall_by_phase_of(
+    const std::vector<obs::span_record>& spans) {
+  // Phase rows are the "instance" span's direct children plus any top-level
+  // span that is not an instance (e.g. the session constructor's
+  // connectivity fill). Deeper spans (claim sub-rounds, certify under
+  // refresh_graph) are already counted inside their parent phase.
+  std::map<std::string, double> acc;
+  for (const obs::span_record& s : spans) {
+    if (s.depth > 1 || s.name == "instance") continue;
+    acc[s.name] += s.wall_end - s.wall_begin;
+  }
+  return {acc.begin(), acc.end()};  // std::map: sorted by name
+}
+
+json run_record::to_json(bool include_timing) const {
   json corrupt_ids = json::array();
   for (int v : corrupt) corrupt_ids.push(json::num(v));
   json j = json::object();
@@ -205,6 +219,21 @@ json run_record::to_json() const {
       .set("default_outcome_instances", json::num(default_outcome_instances))
       .set("dc1_claim_bits", json::num(dc1_claim_bits))
       .set("dc1_fallbacks", json::num(dc1_fallbacks))
+      .set("gf_ops", json::num(gf_ops))
+      .set("gf_axpy_words", json::num(gf_axpy_words))
+      .set("gf_scale_words", json::num(gf_scale_words))
+      .set("gf_mul_ops", json::num(gf_mul_ops))
+      .set("gf_rows_eliminated", json::num(gf_rows_eliminated))
+      .set("cert_prefix_pushes", json::num(cert_prefix_pushes))
+      .set("cert_prefix_pops", json::num(cert_prefix_pops))
+      .set("cert_ghost_repushes", json::num(cert_ghost_repushes))
+      .set("cert_subgraphs", json::num(cert_subgraphs))
+      .set("cache_lookups", json::num(cache_lookups))
+      .set("claim_echoes", json::num(claim_echoes))
+      .set("claim_readys", json::num(claim_readys))
+      .set("margin_quorum_slack", json::num(margin_quorum_slack))
+      .set("margin_hold_surplus", json::num(margin_hold_surplus))
+      .set("margin_dispute_headroom", json::num(margin_dispute_headroom))
       .set("pipeline_depth", json::num(pipeline_depth))
       .set("pipeline_speedup", json::num(pipeline_speedup))
       .set("agreement", json::boolean(agreement))
@@ -213,6 +242,20 @@ json run_record::to_json() const {
       .set("conviction_sound", json::boolean(conviction_sound))
       .set("dispute_bound", json::boolean(dispute_bound))
       .set("ok", json::boolean(ok()));
+  if (include_timing) {
+    // One nested object so cross-jobs document diffing (the determinism CI)
+    // can drop the whole machine-set layer by stripping a single key.
+    json wall = json::object();
+    for (const auto& [phase, seconds] : timing.wall_by_phase)
+      wall.set(phase, json::num(seconds));
+    json t = json::object();
+    t.set("wall_seconds_by_phase", std::move(wall))
+        .set("cache_hits", json::num(timing.cache_hits))
+        .set("cache_misses", json::num(timing.cache_misses))
+        .set("arena_allocs", json::num(timing.arena_allocs))
+        .set("arena_pool_hits", json::num(timing.arena_pool_hits));
+    j.set("timing", std::move(t));
+  }
   return j;
 }
 
@@ -240,7 +283,9 @@ json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int 
                     const std::map<std::string, double>* family_wall_seconds) {
   const sweep_summary s = summarize(records);
   json runs = json::array();
-  for (const run_record& r : records) runs.push(r.to_json());
+  // Per-run timing rides with the wall keys: omitted in determinism mode
+  // (wall_seconds < 0), present in normal reporting.
+  for (const run_record& r : records) runs.push(r.to_json(wall_seconds >= 0.0));
   json summary = json::object();
   summary.set("runs", json::num(s.runs))
       .set("failed_runs", json::num(s.failed_runs))
@@ -301,6 +346,52 @@ json trace_document(const std::string& sweep_name, std::uint64_t base_seed,
       .set("sweep", json::str(sweep_name))
       .set("base_seed", json::str(hex_seed(base_seed)))
       .set("runs", std::move(runs));
+  return doc;
+}
+
+json timeline_document(const std::string& sweep_name, std::uint64_t base_seed,
+                       const std::vector<run_record>& records) {
+  json events = json::array();
+  for (const run_record& r : records) {
+    if (r.timing.spans.empty()) continue;
+    // Chrome-trace metadata: each run renders as its own process, labelled
+    // with the scenario so the timeline is navigable without the records.
+    {
+      json args = json::object();
+      args.set("name", json::str("run " + std::to_string(r.run_index) + ": " +
+                                 r.scenario));
+      json meta = json::object();
+      meta.set("name", json::str("process_name"))
+          .set("ph", json::str("M"))
+          .set("pid", json::num(r.run_index))
+          .set("tid", json::num(0))
+          .set("args", std::move(args));
+      events.push(std::move(meta));
+    }
+    for (const obs::span_record& s : r.timing.spans) {
+      json args = json::object();
+      args.set("depth", json::num(s.depth));
+      if (s.tau_begin >= 0.0) {
+        args.set("tau_begin", json::num(s.tau_begin));
+        args.set("tau_end", json::num(s.tau_end));
+      }
+      json ev = json::object();
+      ev.set("name", json::str(s.name))
+          .set("ph", json::str("X"))
+          .set("ts", json::num(s.wall_begin * 1e6))
+          .set("dur", json::num((s.wall_end - s.wall_begin) * 1e6))
+          .set("pid", json::num(r.run_index))
+          .set("tid", json::num(0))
+          .set("args", std::move(args));
+      events.push(std::move(ev));
+    }
+  }
+  json doc = json::object();
+  doc.set("bench", json::str("runtime-timeline"))
+      .set("sweep", json::str(sweep_name))
+      .set("base_seed", json::str(hex_seed(base_seed)))
+      .set("displayTimeUnit", json::str("ms"))
+      .set("traceEvents", std::move(events));
   return doc;
 }
 

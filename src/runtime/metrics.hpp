@@ -4,7 +4,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace nab::runtime {
 
@@ -49,10 +52,35 @@ class json {
   std::vector<json> elements_;                         // array
 };
 
+/// Machine-set observability data riding along with a run_record: wall-clock
+/// per phase, the scheduling-dependent cache/arena counters, and — when the
+/// sweep ran with timeline capture — the raw span list. Everything in here
+/// describes the machine and the jobs count, not the workload, so
+/// `operator==` deliberately always returns true: the defaulted run_record
+/// equality (the `--jobs 1` vs `--jobs N` determinism contract) compares
+/// records as if this struct did not exist, the same way wall_seconds lives
+/// outside the records entirely.
+struct run_timing {
+  /// Summed wall seconds of the run's depth-1 phase spans, keyed by span
+  /// name and sorted (phase1, equality_check, flags, phase3, refresh_graph,
+  /// plus any omega_cache fill the run happened to pay).
+  std::vector<std::pair<std::string, double>> wall_by_phase;
+  std::uint64_t cache_hits = 0;       ///< omega_cache hits this run observed
+  std::uint64_t cache_misses = 0;     ///< misses this run paid for the fleet
+  std::uint64_t arena_allocs = 0;     ///< arena allocations served
+  std::uint64_t arena_pool_hits = 0;  ///< of which from a free list
+  /// Full span list (nesting via parent/depth); captured only under
+  /// fleet --timeline, empty otherwise.
+  std::vector<obs::span_record> spans;
+
+  bool operator==(const run_timing&) const { return true; }
+};
+
 /// Everything measured about one fleet run (one scenario executed end to
 /// end: a full session of `instances` NAB instances). Plain data; equality
-/// ignores nothing — wall-clock time is kept OUT of this struct so records
-/// are comparable across thread counts, and is reported separately.
+/// ignores nothing — wall-clock time is kept OUT of this struct (see
+/// run_timing) so records are comparable across thread counts, and is
+/// reported separately.
 struct run_record {
   int run_index = 0;              ///< position in the expanded sweep
   std::string scenario;           ///< concrete scenario name (unique per sweep)
@@ -94,6 +122,35 @@ struct run_record {
   std::uint64_t dc1_claim_bits = 0;
   int dc1_fallbacks = 0;
 
+  // Deterministic obs counters (src/obs): pure functions of the workload,
+  // bit-identical across --jobs counts and pooled/unpooled sessions, so they
+  // sit inside the defaulted operator== and the determinism contract covers
+  // them. gf_ops is the headline sum the CI perf smoke asserts nonzero on
+  // certified runs.
+  std::uint64_t gf_ops = 0;              ///< sum of the four gf_* below
+  std::uint64_t gf_axpy_words = 0;
+  std::uint64_t gf_scale_words = 0;
+  std::uint64_t gf_mul_ops = 0;
+  std::uint64_t gf_rows_eliminated = 0;
+  std::uint64_t cert_prefix_pushes = 0;
+  std::uint64_t cert_prefix_pops = 0;
+  std::uint64_t cert_ghost_repushes = 0;
+  std::uint64_t cert_subgraphs = 0;
+  std::uint64_t cache_lookups = 0;       ///< deterministic companion of hit/miss
+  std::uint64_t claim_echoes = 0;
+  std::uint64_t claim_readys = 0;
+
+  // Invariant-margin gauges (minimum over the run, -1 = never exercised):
+  // how much headroom the run kept before a quorum rule or the paper's
+  // dispute bound would have failed. The scoring signal an adversary search
+  // ranks runs by — smaller means closer to the edge.
+  std::int64_t margin_quorum_slack = -1;
+  std::int64_t margin_hold_surplus = -1;
+  std::int64_t margin_dispute_headroom = -1;
+
+  /// Machine-set timing data (excluded from operator== — see run_timing).
+  run_timing timing;
+
   /// Per-link traffic matrix (universe x universe, row-major bits), filled
   /// only when the sweep ran with trace capture (fleet --trace); empty
   /// otherwise so BENCH_runtime.json stays byte-stable.
@@ -117,7 +174,10 @@ struct run_record {
 
   bool operator==(const run_record&) const = default;
 
-  json to_json() const;
+  /// `include_timing` adds the run_timing fields (wall_seconds_by_phase and
+  /// the machine counters) — the same keys the determinism CI strips, named
+  /// with the wall_seconds prefix so one strip rule covers both layers.
+  json to_json(bool include_timing = false) const;
 };
 
 /// Sweep-level aggregates, derived from the records.
@@ -153,6 +213,21 @@ json sweep_document(const std::string& sweep_name, std::uint64_t base_seed, int 
 /// Runs without traffic data are skipped. Deterministic for fixed records.
 json trace_document(const std::string& sweep_name, std::uint64_t base_seed,
                     const std::vector<run_record>& records);
+
+/// The fleet --timeline document: every captured span of every run as a
+/// Chrome-trace / Perfetto "traceEvents" JSON (complete "X" events, ts/dur
+/// in microseconds of wall time, one pid per run so runs render as separate
+/// processes; sim-time bounds and span depth travel in args). Load with
+/// chrome://tracing or https://ui.perfetto.dev. Runs captured without spans
+/// are skipped.
+json timeline_document(const std::string& sweep_name, std::uint64_t base_seed,
+                       const std::vector<run_record>& records);
+
+/// Aggregates each record's depth-1 spans into (phase name -> summed wall
+/// seconds), sorted by name — the run_timing::wall_by_phase shape. Exposed
+/// for the runner and tests.
+std::vector<std::pair<std::string, double>> wall_by_phase_of(
+    const std::vector<obs::span_record>& spans);
 
 /// Writes `doc.dump()` to `path` (throws nab::error on I/O failure).
 void write_json_file(const std::string& path, const json& doc);

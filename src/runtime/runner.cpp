@@ -8,6 +8,7 @@
 #include "core/omega_cache.hpp"
 #include "core/pipeline.hpp"
 #include "core/session.hpp"
+#include "obs/obs.hpp"
 #include "runtime/executor.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
@@ -63,7 +64,8 @@ graph::digraph build_valid_topology(const scenario& s, std::uint64_t run_seed) {
 }  // namespace
 
 run_record execute_scenario(const scenario& s, int run_index,
-                            std::uint64_t sweep_seed, bool capture_trace) {
+                            std::uint64_t sweep_seed, bool capture_trace,
+                            bool capture_spans) {
   const std::uint64_t run_seed =
       derive_run_seed(sweep_seed, static_cast<std::uint64_t>(run_index));
 
@@ -92,6 +94,35 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.traffic.assign(static_cast<std::size_t>(universe) * universe, 0);
     for (const sim::trace_event& e : run_trace.events())
       rec.traffic[static_cast<std::size_t>(e.from) * universe + e.to] += e.bits;
+  };
+
+  // Per-run observability collector, thread-confined like the trace. Every
+  // run counts (the instrumentation is a TLS load + add per call site); the
+  // span list is only retained when the caller asked for a timeline.
+  obs::collector col;
+  obs::scoped_collector col_scope(&col);
+  const auto harvest_obs = [&] {
+    rec.gf_axpy_words = col.value(obs::counter::gf_axpy_words);
+    rec.gf_scale_words = col.value(obs::counter::gf_scale_words);
+    rec.gf_mul_ops = col.value(obs::counter::gf_mul_ops);
+    rec.gf_rows_eliminated = col.value(obs::counter::gf_rows_eliminated);
+    rec.gf_ops = rec.gf_axpy_words + rec.gf_scale_words + rec.gf_mul_ops +
+                 rec.gf_rows_eliminated;
+    rec.cert_prefix_pushes = col.value(obs::counter::cert_prefix_pushes);
+    rec.cert_prefix_pops = col.value(obs::counter::cert_prefix_pops);
+    rec.cert_ghost_repushes = col.value(obs::counter::cert_ghost_repushes);
+    rec.cert_subgraphs = col.value(obs::counter::cert_subgraphs);
+    rec.cache_lookups = col.value(obs::counter::cache_lookups);
+    rec.claim_echoes = col.value(obs::counter::claim_echoes);
+    rec.claim_readys = col.value(obs::counter::claim_readys);
+    rec.margin_quorum_slack = col.gauge_value(obs::gauge::quorum_slack);
+    rec.margin_hold_surplus = col.gauge_value(obs::gauge::hold_surplus);
+    rec.timing.cache_hits = col.value(obs::counter::cache_hits);
+    rec.timing.cache_misses = col.value(obs::counter::cache_misses);
+    rec.timing.arena_allocs = col.value(obs::counter::arena_allocs);
+    rec.timing.arena_pool_hits = col.value(obs::counter::arena_pool_hits);
+    rec.timing.wall_by_phase = wall_by_phase_of(col.spans());
+    if (capture_spans) rec.timing.spans = col.spans();
   };
 
   graph::digraph g = build_valid_topology(s, run_seed);
@@ -129,6 +160,7 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.agreement = stats.all_agreed;
     rec.validity = stats.all_valid;
     reduce_trace(rec.nodes);
+    harvest_obs();
     return rec;
   }
 
@@ -195,22 +227,29 @@ run_record execute_scenario(const scenario& s, int run_index,
   for (graph::node_id v : run.disputes.convicted())
     if (faults.is_honest(v)) rec.conviction_sound = false;
   rec.dispute_bound = rec.dispute_phases <= s.f * (s.f + 1);
+  // Dispute-bound headroom is runtime knowledge (the session does not know
+  // the paper's f(f+1) budget is the scoring baseline): full budget when no
+  // dispute phase ran, 0 when the bound was exactly met.
+  rec.margin_dispute_headroom =
+      static_cast<std::int64_t>(s.f) * (s.f + 1) - rec.dispute_phases;
 
   reduce_trace(rec.nodes);
+  harvest_obs();
   return rec;
 }
 
 std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
     const std::function<void(const run_record&)>& on_done,
-    std::vector<double>* run_wall_seconds, bool capture_traces) {
+    std::vector<double>* run_wall_seconds, bool capture_traces,
+    bool capture_spans) {
   std::vector<run_record> records(sweep.size());
   if (run_wall_seconds != nullptr) run_wall_seconds->assign(sweep.size(), 0.0);
   std::mutex done_mu;
   parallel_for_each_index(jobs, sweep.size(), [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();
-    records[i] =
-        execute_scenario(sweep[i], static_cast<int>(i), sweep_seed, capture_traces);
+    records[i] = execute_scenario(sweep[i], static_cast<int>(i), sweep_seed,
+                                  capture_traces, capture_spans);
     if (run_wall_seconds != nullptr)
       (*run_wall_seconds)[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

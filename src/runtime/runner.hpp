@@ -18,9 +18,16 @@ namespace nab::runtime {
 /// (sim::scoped_ambient_trace, thread-confined) and reduces it into
 /// run_record::traffic; traced bits are workload-determined, so records stay
 /// comparable across thread counts.
+///
+/// Every run executes under a per-run obs::collector (same thread-confined
+/// ambient pattern): the deterministic counters and margin gauges land in
+/// the record proper, the machine-set data in run_record::timing.
+/// `capture_spans` additionally keeps the raw span list (fleet --timeline);
+/// phase wall totals are recorded either way.
 run_record execute_scenario(const scenario& s, int run_index,
                             std::uint64_t sweep_seed,
-                            bool capture_trace = false);
+                            bool capture_trace = false,
+                            bool capture_spans = false);
 
 /// Fans the sweep out over `jobs` workers (see executor.hpp). Results are
 /// indexed by sweep position, so the output is identical for every `jobs`
@@ -33,6 +40,6 @@ std::vector<run_record> run_sweep(
     const std::vector<scenario>& sweep, std::uint64_t sweep_seed, int jobs,
     const std::function<void(const run_record&)>& on_done = {},
     std::vector<double>* run_wall_seconds = nullptr,
-    bool capture_traces = false);
+    bool capture_traces = false, bool capture_spans = false);
 
 }  // namespace nab::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace nab::sim {
@@ -66,11 +67,14 @@ void* run_arena::allocate(std::size_t bytes, std::size_t align) {
   NAB_ASSERT(align <= kAlign, "run_arena serves alignments up to 16");
   ++live_;
   ++total_;
+  // Machine-set counters: pool state depends on what ran on the shard before.
+  obs::count(obs::counter::arena_allocs);
   const int cls = class_of(bytes);
   if (cls >= 0) {
     if (void* head = free_lists_[cls]) {
       std::memcpy(&free_lists_[cls], head, sizeof(void*));
       ++pool_hits_;
+      obs::count(obs::counter::arena_pool_hits);
       return head;
     }
     return bump(class_bytes(cls));

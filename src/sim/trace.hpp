@@ -57,6 +57,17 @@ class trace {
   std::vector<trace_event> events_;
 };
 
+/// Human-readable name for a protocol tag: "data" for 0 (bare charges),
+/// registered names for everything else, and a hex rendering ("0xc1a1b")
+/// as the fallback. Used by trace::dump, fleet --trace output, and the
+/// timeline exporter's per-tag traffic tracks, so a claim round reads
+/// "claim", not a raw 64-bit constant.
+std::string tag_name(std::uint64_t tag);
+
+/// Registers (or replaces) the display name of a protocol tag. Sub-protocols
+/// register their tag once at static-init time; thread-safe.
+void register_tag_name(std::uint64_t tag, std::string name);
+
 /// The calling thread's ambient trace (nullptr when none is installed).
 /// Networks constructed on a thread attach its ambient trace automatically,
 /// so instrumentation reaches the networks a `core::session` creates

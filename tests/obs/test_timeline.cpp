@@ -1,0 +1,145 @@
+// Golden-structure test for the fleet --timeline export: a hand-built record
+// with fixed span data must serialize to exactly this Chrome-trace JSON.
+// Timestamps are synthetic (no clock is consulted), so the comparison is
+// byte-exact and any drift in event shape, key order, or number formatting
+// shows up as a readable diff.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "runtime/metrics.hpp"
+
+namespace nab::runtime {
+namespace {
+
+obs::span_record make_span(int id, int parent, int depth, const char* name,
+                           double tau0, double tau1, double w0, double w1) {
+  obs::span_record s;
+  s.id = id;
+  s.parent = parent;
+  s.depth = depth;
+  s.name = name;
+  s.tau_begin = tau0;
+  s.tau_end = tau1;
+  s.wall_begin = w0;
+  s.wall_end = w1;
+  return s;
+}
+
+run_record make_record() {
+  run_record r;
+  r.run_index = 3;
+  r.scenario = "k8/f1/static";
+  // Wall values are dyadic fractions so wall * 1e6 is exact in binary and
+  // %.17g prints clean integers — the golden stays byte-stable.
+  r.timing.spans = {
+      make_span(0, -1, 0, "instance", 0.0, 100.0, 0.0, 0.5),
+      make_span(1, 0, 1, "phase1", 0.0, 40.0, 0.0, 0.25),
+      // Pure-computation span: tau sentinel -1 must suppress the tau args.
+      make_span(2, 0, 1, "coding_generate", -1.0, -1.0, 0.25, 0.375),
+  };
+  return r;
+}
+
+TEST(Timeline, DocumentMatchesGolden) {
+  // A record captured without spans contributes nothing, not empty events.
+  run_record spanless;
+  spanless.run_index = 1;
+  const json doc = timeline_document("smoke", 7, {spanless, make_record()});
+  const std::string expected = R"({
+  "bench": "runtime-timeline",
+  "sweep": "smoke",
+  "base_seed": "0x0000000000000007",
+  "displayTimeUnit": "ms",
+  "traceEvents": [
+    {
+      "name": "process_name",
+      "ph": "M",
+      "pid": 3,
+      "tid": 0,
+      "args": {
+        "name": "run 3: k8/f1/static"
+      }
+    },
+    {
+      "name": "instance",
+      "ph": "X",
+      "ts": 0,
+      "dur": 500000,
+      "pid": 3,
+      "tid": 0,
+      "args": {
+        "depth": 0,
+        "tau_begin": 0,
+        "tau_end": 100
+      }
+    },
+    {
+      "name": "phase1",
+      "ph": "X",
+      "ts": 0,
+      "dur": 250000,
+      "pid": 3,
+      "tid": 0,
+      "args": {
+        "depth": 1,
+        "tau_begin": 0,
+        "tau_end": 40
+      }
+    },
+    {
+      "name": "coding_generate",
+      "ph": "X",
+      "ts": 250000,
+      "dur": 125000,
+      "pid": 3,
+      "tid": 0,
+      "args": {
+        "depth": 1
+      }
+    }
+  ]
+}
+)";
+  EXPECT_EQ(doc.dump(), expected);
+}
+
+TEST(Timeline, WallByPhaseAggregatesDepthOneSpans) {
+  std::vector<obs::span_record> spans = {
+      make_span(0, -1, 0, "instance", 0.0, 10.0, 0.0, 1.0),
+      make_span(1, 0, 1, "phase1", 0.0, 4.0, 0.0, 0.25),
+      make_span(2, 1, 2, "omega_cache/fill_plan", -1.0, -1.0, 0.0, 0.1),
+      make_span(3, 0, 1, "phase3", 4.0, 10.0, 0.25, 0.75),
+      // Second instance of the same run: same phase names accumulate.
+      make_span(4, -1, 0, "instance", 10.0, 20.0, 1.0, 2.0),
+      make_span(5, 4, 1, "phase1", 10.0, 14.0, 1.0, 1.5),
+      // Top-level fill (paid outside any instance) counts as its own phase.
+      make_span(6, -1, 0, "omega_cache/fill_analysis", -1.0, -1.0, 2.0, 2.125),
+  };
+  const auto rows = wall_by_phase_of(spans);
+  ASSERT_EQ(rows.size(), 3u);  // sorted by name; "instance" and depth-2 excluded
+  EXPECT_EQ(rows[0].first, "omega_cache/fill_analysis");
+  EXPECT_DOUBLE_EQ(rows[0].second, 0.125);
+  EXPECT_EQ(rows[1].first, "phase1");
+  EXPECT_DOUBLE_EQ(rows[1].second, 0.75);
+  EXPECT_EQ(rows[2].first, "phase3");
+  EXPECT_DOUBLE_EQ(rows[2].second, 0.5);
+}
+
+TEST(Timeline, RunRecordJsonNestsTimingUnderOneKey) {
+  run_record r = make_record();
+  r.timing.wall_by_phase = {{"phase1", 0.001}};
+  const std::string bare = r.to_json(false).dump();
+  const std::string timed = r.to_json(true).dump();
+  EXPECT_EQ(bare.find("\"timing\""), std::string::npos);
+  EXPECT_NE(timed.find("\"timing\""), std::string::npos);
+  EXPECT_NE(timed.find("\"wall_seconds_by_phase\""), std::string::npos);
+  // Deterministic counters live outside timing in both shapes.
+  EXPECT_NE(bare.find("\"gf_ops\""), std::string::npos);
+  EXPECT_NE(bare.find("\"margin_quorum_slack\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nab::runtime
