@@ -8,8 +8,9 @@
 // Usage:
 //   fleet --list                         show the preset catalog and exit
 //   fleet [options]                      run a sweep
+//   fleet --hunt [options]               coverage-guided adversary search
 //
-// Options:
+// Options (sweep):
 //   --scenario NAMES  comma-separated family names, or "all" (default: all)
 //   --jobs N          worker threads (default 1; results identical for any N)
 //   --seed S          sweep base seed (default 1)
@@ -25,15 +26,27 @@
 //                     down to the claim sub-rounds
 //   --quiet           suppress the per-run progress lines
 //
+// Options (hunt — see docs/HUNT.md and runtime/hunt.hpp):
+//   --hunt-families NAMES  families whose (topology, f) pairs become hunt
+//                          contexts (default complete-f2,ablation-claims —
+//                          the K_7/K_9 dispute presets)
+//   --budget N             total genome evaluations (default 2000)
+//   --population N         genomes per generation (default 12)
+//   --hunt-words N         payload words per evaluation (default 16 — margins
+//                          are size-oblivious, so evaluations stay cheap)
+//   --hunt-instances N     instances per evaluation (0 = family default)
+//   --hunt-corpus FILE     corpus output (default HUNT_corpus.json; "-" = none)
+//   --jobs/--seed/--quiet  as above; the corpus is byte-identical for any
+//                          --jobs value
+//
 // Every sweep ends with a per-phase rollup (top phases by wall time across
-// the sweep, per family) built from the same obs spans.
+// the sweep, per family) built from the same obs spans. Flag parsing is
+// strict (runtime/fleet_cli.hpp): unknown flags are errors naming the flag,
+// never silently ignored.
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 #include <string>
 #include <utility>
@@ -43,37 +56,6 @@
 #include "runtime/runtime.hpp"
 
 namespace {
-
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
-               "             [--json FILE] [--trace FILE] [--timeline FILE] "
-               "[--quiet]\n");
-  std::exit(2);
-}
-
-/// Strict numeric parsing: atoll would silently turn "1e5" into 1 and a
-/// typo into seed 0, then stamp the wrong seed into BENCH_runtime.json.
-std::uint64_t parse_u64(const char* flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || *text == '-') {
-    std::fprintf(stderr, "fleet: %s expects a non-negative integer, got '%s'\n",
-                 flag, text);
-    std::exit(2);
-  }
-  return v;
-}
-
-int parse_int(const char* flag, const char* text) {
-  const std::uint64_t v = parse_u64(flag, text);
-  if (v > 1'000'000) {
-    std::fprintf(stderr, "fleet: %s value %s is out of range\n", flag, text);
-    std::exit(2);
-  }
-  return static_cast<int>(v);
-}
 
 void list_registry() {
   std::size_t total = 0;
@@ -86,133 +68,172 @@ void list_registry() {
   std::printf("%-22s %3zu runs\n", "total (=all)", total);
 }
 
+int run_hunt_mode(const nab::runtime::fleet_options& opt) {
+  using namespace nab::runtime;
+  hunt_config cfg;
+  cfg.families = opt.hunt_families;
+  cfg.seed = opt.seed;
+  cfg.budget = opt.budget;
+  cfg.population = opt.population;
+  cfg.jobs = opt.jobs;
+  cfg.words = opt.hunt_words;
+  cfg.instances = opt.hunt_instances;
+
+  std::printf("fleet: hunting %s, budget %d, population %d, %d job%s, seed %llu\n",
+              cfg.families.c_str(), cfg.budget, cfg.population, cfg.jobs,
+              cfg.jobs == 1 ? "" : "s",
+              static_cast<unsigned long long>(cfg.seed));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const hunt_corpus corpus = run_hunt(
+      cfg, opt.quiet ? std::function<void(const std::string&)>{}
+                     : [](const std::string& line) {
+                         std::printf("  %s\n", line.c_str());
+                       });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf(
+      "fleet: hunt done — %d evaluations, %zu champions, %zu novel behaviors, "
+      "%d errors, %d invariant violations, wall %.2fs\n",
+      corpus.evaluations, corpus.champions.size(), corpus.novel.size(),
+      corpus.errors, corpus.violations, wall);
+  for (const corpus_entry& e : corpus.champions)
+    std::printf("  champion %-28s %-24s slack=%lld hold=%lld headroom=%lld  %s\n",
+                e.context.c_str(), e.gauge.c_str(),
+                static_cast<long long>(e.margin_quorum_slack),
+                static_cast<long long>(e.margin_hold_surplus),
+                static_cast<long long>(e.margin_dispute_headroom),
+                e.genome.to_params().c_str());
+  for (const corpus_entry& e : corpus.violators)
+    std::printf("  VIOLATION %-28s run_index=%d  %s\n", e.context.c_str(),
+                e.run_index, e.genome.to_params().c_str());
+
+  if (opt.corpus_path != "-") {
+    write_json_file(opt.corpus_path, corpus_document(corpus));
+    std::printf("fleet: wrote %s\n", opt.corpus_path.c_str());
+  }
+  if (corpus.violations > 0) {
+    std::fprintf(stderr,
+                 "fleet: the hunt found %d paper-invariant violation(s) — "
+                 "replay the violator genomes above\n",
+                 corpus.violations);
+    return 1;
+  }
+  return 0;
+}
+
+int run_sweep_mode(const nab::runtime::fleet_options& opt) {
+  using namespace nab::runtime;
+  const std::vector<scenario> sweep = select_scenarios(opt.scenarios);
+  std::printf("fleet: %zu runs (%s), %d job%s, seed %llu\n", sweep.size(),
+              opt.scenarios.c_str(), opt.jobs, opt.jobs == 1 ? "" : "s",
+              static_cast<unsigned long long>(opt.seed));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> run_walls;
+  const auto records = run_sweep(
+      sweep, opt.seed, opt.jobs,
+      [&](const run_record& r) {
+        if (opt.quiet) return;
+        std::printf("  [%3d] %-46s thpt=%8.3f disputes=%d convicted=%d %s\n",
+                    r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
+                    r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
+      },
+      &run_walls, /*capture_traces=*/!opt.trace_path.empty(),
+      /*capture_spans=*/!opt.timeline_path.empty());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::map<std::string, double> family_walls;
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    family_walls[sweep[i].family] += run_walls[i];
+
+  const sweep_summary s = summarize(records);
+  std::printf(
+      "fleet: %d runs, %d instances, %d dispute phases, throughput "
+      "min/mean/max = %.3f/%.3f/%.3f, wall %.2fs\n",
+      s.runs, s.total_instances, s.total_dispute_phases, s.min_throughput,
+      s.mean_throughput, s.max_throughput, wall);
+  const auto cache = nab::core::omega_cache::instance().stats();
+  std::printf(
+      "fleet: omega_cache %llu/%llu analysis hits, %llu/%llu phase-1 plan hits\n",
+      static_cast<unsigned long long>(cache.analysis_hits),
+      static_cast<unsigned long long>(cache.analysis_hits + cache.analysis_misses),
+      static_cast<unsigned long long>(cache.plan_hits),
+      static_cast<unsigned long long>(cache.plan_hits + cache.plan_misses));
+
+  // Per-family phase rollup: the top-3 phases by summed wall time across
+  // the family's runs, from the per-run obs spans. Answers "where did the
+  // sweep's time go" without opening the JSON.
+  {
+    std::map<std::string, std::map<std::string, double>> family_phases;
+    for (const run_record& r : records)
+      for (const auto& [phase, secs] : r.timing.wall_by_phase)
+        family_phases[r.family][phase] += secs;
+    std::printf("fleet: wall by phase (top 3 per family)\n");
+    for (const auto& [family, phases] : family_phases) {
+      std::vector<std::pair<std::string, double>> rows(phases.begin(),
+                                                       phases.end());
+      std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second : a.first < b.first;
+      });
+      std::string line;
+      for (std::size_t i = 0; i < rows.size() && i < 3; ++i) {
+        char cell[96];
+        std::snprintf(cell, sizeof cell, "%s%s=%.3fs", i > 0 ? "  " : "",
+                      rows[i].first.c_str(), rows[i].second);
+        line += cell;
+      }
+      std::printf("  %-22s %s\n", family.c_str(), line.c_str());
+    }
+  }
+
+  if (opt.json_path != "-") {
+    write_json_file(opt.json_path, sweep_document(opt.scenarios, opt.seed,
+                                                  opt.jobs, records, wall,
+                                                  &family_walls));
+    std::printf("fleet: wrote %s\n", opt.json_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    write_json_file(opt.trace_path,
+                    trace_document(opt.scenarios, opt.seed, records));
+    std::printf("fleet: wrote %s\n", opt.trace_path.c_str());
+  }
+  if (!opt.timeline_path.empty()) {
+    write_json_file(opt.timeline_path,
+                    timeline_document(opt.scenarios, opt.seed, records));
+    std::printf("fleet: wrote %s\n", opt.timeline_path.c_str());
+  }
+
+  if (s.failed_runs > 0) {
+    std::fprintf(stderr, "fleet: %d run(s) violated paper invariants\n",
+                 s.failed_runs);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string names = "all";
-  std::string json_path = "BENCH_runtime.json";
-  std::string trace_path;
-  std::string timeline_path;
-  int jobs = 1;
-  std::uint64_t seed = 1;
-  bool quiet = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
-      return argv[++i];
-    };
-    if (a == "--list") {
-      list_registry();
-      return 0;
-    } else if (a == "--scenario") {
-      names = next();
-    } else if (a == "--jobs") {
-      jobs = parse_int("--jobs", next());
-    } else if (a == "--seed") {
-      seed = parse_u64("--seed", next());
-    } else if (a == "--json") {
-      json_path = next();
-    } else if (a == "--trace") {
-      trace_path = next();
-    } else if (a == "--timeline") {
-      timeline_path = next();
-    } else if (a == "--quiet") {
-      quiet = true;
-    } else {
-      usage();
-    }
-  }
-  if (jobs < 1) jobs = 1;
-
+  nab::runtime::fleet_options opt;
   try {
-    using namespace nab::runtime;
-    const std::vector<scenario> sweep = select_scenarios(names);
-    std::printf("fleet: %zu runs (%s), %d job%s, seed %llu\n", sweep.size(),
-                names.c_str(), jobs, jobs == 1 ? "" : "s",
-                static_cast<unsigned long long>(seed));
+    opt = nab::runtime::parse_fleet_args(
+        std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), nab::runtime::fleet_usage().c_str());
+    return 2;
+  }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<double> run_walls;
-    const auto records = run_sweep(
-        sweep, seed, jobs,
-        [&](const run_record& r) {
-          if (quiet) return;
-          std::printf("  [%3d] %-46s thpt=%8.3f disputes=%d convicted=%d %s\n",
-                      r.run_index, r.scenario.c_str(), r.throughput, r.disputes,
-                      r.convictions, r.ok() ? "ok" : "INVARIANT VIOLATED");
-        },
-        &run_walls, /*capture_traces=*/!trace_path.empty(),
-        /*capture_spans=*/!timeline_path.empty());
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-
-    std::map<std::string, double> family_walls;
-    for (std::size_t i = 0; i < sweep.size(); ++i)
-      family_walls[sweep[i].family] += run_walls[i];
-
-    const sweep_summary s = summarize(records);
-    std::printf(
-        "fleet: %d runs, %d instances, %d dispute phases, throughput "
-        "min/mean/max = %.3f/%.3f/%.3f, wall %.2fs\n",
-        s.runs, s.total_instances, s.total_dispute_phases, s.min_throughput,
-        s.mean_throughput, s.max_throughput, wall);
-    const auto cache = nab::core::omega_cache::instance().stats();
-    std::printf(
-        "fleet: omega_cache %llu/%llu analysis hits, %llu/%llu phase-1 plan hits\n",
-        static_cast<unsigned long long>(cache.analysis_hits),
-        static_cast<unsigned long long>(cache.analysis_hits + cache.analysis_misses),
-        static_cast<unsigned long long>(cache.plan_hits),
-        static_cast<unsigned long long>(cache.plan_hits + cache.plan_misses));
-
-    // Per-family phase rollup: the top-3 phases by summed wall time across
-    // the family's runs, from the per-run obs spans. Answers "where did the
-    // sweep's time go" without opening the JSON.
-    {
-      std::map<std::string, std::map<std::string, double>> family_phases;
-      for (const run_record& r : records)
-        for (const auto& [phase, secs] : r.timing.wall_by_phase)
-          family_phases[r.family][phase] += secs;
-      std::printf("fleet: wall by phase (top 3 per family)\n");
-      for (const auto& [family, phases] : family_phases) {
-        std::vector<std::pair<std::string, double>> rows(phases.begin(),
-                                                         phases.end());
-        std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-          return a.second != b.second ? a.second > b.second : a.first < b.first;
-        });
-        std::string line;
-        for (std::size_t i = 0; i < rows.size() && i < 3; ++i) {
-          char cell[96];
-          std::snprintf(cell, sizeof cell, "%s%s=%.3fs", i > 0 ? "  " : "",
-                        rows[i].first.c_str(), rows[i].second);
-          line += cell;
-        }
-        std::printf("  %-22s %s\n", family.c_str(), line.c_str());
-      }
-    }
-
-    if (json_path != "-") {
-      write_json_file(json_path,
-                      sweep_document(names, seed, jobs, records, wall, &family_walls));
-      std::printf("fleet: wrote %s\n", json_path.c_str());
-    }
-    if (!trace_path.empty()) {
-      write_json_file(trace_path, trace_document(names, seed, records));
-      std::printf("fleet: wrote %s\n", trace_path.c_str());
-    }
-    if (!timeline_path.empty()) {
-      write_json_file(timeline_path, timeline_document(names, seed, records));
-      std::printf("fleet: wrote %s\n", timeline_path.c_str());
-    }
-
-    if (s.failed_runs > 0) {
-      std::fprintf(stderr, "fleet: %d run(s) violated paper invariants\n",
-                   s.failed_runs);
-      return 1;
-    }
+  if (opt.list) {
+    list_registry();
     return 0;
+  }
+  try {
+    return opt.hunt ? run_hunt_mode(opt) : run_sweep_mode(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fleet: %s\n", e.what());
     return 1;

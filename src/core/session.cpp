@@ -302,12 +302,24 @@ instance_report session::run_instance(const std::vector<word>& input,
       // participant count — one resolution authority for every caller. The
       // coding seed doubles as the digest-point seed: per-run shared
       // protocol state, exactly like the coding matrices.
+      //
+      // The BB sub-protocols get the *remaining* fault budget: every
+      // convicted node is provably corrupt (conviction soundness) and
+      // already removed from G_k, so at most f - |convicted| corrupt nodes
+      // participate — and with n >= 3f+1 the shrunken G_k always satisfies
+      // the collapsed backend's participants > 3f' precondition, which the
+      // full f could not (n - c > 3(f - c) holds for every c >= 0; n - c >
+      // 3f can fail after staggered convictions). DC4's cover bound keeps
+      // the full f: honest pairs must stay coverable by all f corrupt
+      // nodes, convicted or not.
       dispute_outcome dc;
       {
         obs::scoped_span span("phase3", net.elapsed());
-        dc = run_dispute_control(net, ensure_channels(), gk_, faults_, cfg_.f,
-                                 cfg_.f, ctx, record_, adv_, cfg_.claim_backend,
-                                 cfg_.coding_seed);
+        const int f_remaining =
+            std::max(0, cfg_.f - static_cast<int>(record_.convicted().size()));
+        dc = run_dispute_control(net, ensure_channels(), gk_, faults_,
+                                 f_remaining, cfg_.f, ctx, record_, adv_,
+                                 cfg_.claim_backend, cfg_.coding_seed);
         span.end_tau(net.elapsed());
       }
       report.time_phase3 = dc.time;

@@ -37,6 +37,21 @@ const char* gauge_name(gauge g) {
   return "unknown_gauge";
 }
 
+std::uint64_t behavior_signature(const collector& c) {
+  std::uint64_t h = signature_seed;
+  for (int i = 0; i < counter_count; ++i) {
+    const auto ct = static_cast<counter>(i);
+    if (ct == counter::cache_hits || ct == counter::cache_misses ||
+        ct == counter::arena_allocs || ct == counter::arena_pool_hits)
+      continue;  // machine set — scheduling-dependent
+    h = signature_mix(h, c.value(ct));
+  }
+  for (int i = 0; i < gauge_count; ++i)
+    h = signature_mix(h, static_cast<std::uint64_t>(
+                             c.gauge_value(static_cast<gauge>(i))));
+  return h;
+}
+
 collector::collector() : epoch_(std::chrono::steady_clock::now()) {
   gauges_.fill(gauge_unset);
 }

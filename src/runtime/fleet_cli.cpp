@@ -1,0 +1,93 @@
+#include "runtime/fleet_cli.hpp"
+
+#include "util/error.hpp"
+
+namespace nab::runtime {
+
+std::string fleet_usage() {
+  return
+      "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
+      "             [--json FILE] [--trace FILE] [--timeline FILE] [--quiet]\n"
+      "       fleet --hunt [--hunt-families NAMES] [--budget N] [--population N]\n"
+      "             [--hunt-words N] [--hunt-instances N] [--hunt-corpus FILE]\n"
+      "             [--jobs N] [--seed S] [--quiet]\n";
+}
+
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+')
+    throw error("fleet: " + flag + " expects a non-negative integer, got '" +
+                text + "'");
+  std::uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw error("fleet: " + flag + " expects a non-negative integer, got '" +
+                  text + "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10)
+      throw error("fleet: " + flag + " value '" + text + "' overflows");
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+int parse_int_flag(const std::string& flag, const std::string& text) {
+  const std::uint64_t v = parse_u64_flag(flag, text);
+  if (v > 1'000'000)
+    throw error("fleet: " + flag + " value '" + text + "' is out of range");
+  return static_cast<int>(v);
+}
+
+fleet_options parse_fleet_args(const std::vector<std::string>& args) {
+  fleet_options opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw error("fleet: " + a + " expects a value");
+      return args[++i];
+    };
+    if (a == "--list") {
+      opt.list = true;
+    } else if (a == "--scenario") {
+      opt.scenarios = next();
+    } else if (a == "--jobs") {
+      opt.jobs = parse_int_flag(a, next());
+      if (opt.jobs < 1) opt.jobs = 1;
+    } else if (a == "--seed") {
+      opt.seed = parse_u64_flag(a, next());
+    } else if (a == "--json") {
+      opt.json_path = next();
+    } else if (a == "--trace") {
+      opt.trace_path = next();
+    } else if (a == "--timeline") {
+      opt.timeline_path = next();
+    } else if (a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "--hunt") {
+      opt.hunt = true;
+    } else if (a == "--hunt-families") {
+      opt.hunt_families = next();
+    } else if (a == "--budget") {
+      opt.budget = parse_int_flag(a, next());
+      if (opt.budget < 1)
+        throw error("fleet: --budget must be at least 1");
+    } else if (a == "--population") {
+      opt.population = parse_int_flag(a, next());
+      if (opt.population < 1)
+        throw error("fleet: --population must be at least 1");
+    } else if (a == "--hunt-words") {
+      opt.hunt_words = parse_u64_flag(a, next());
+      if (opt.hunt_words < 1)
+        throw error("fleet: --hunt-words must be at least 1");
+    } else if (a == "--hunt-instances") {
+      opt.hunt_instances = parse_int_flag(a, next());
+    } else if (a == "--hunt-corpus") {
+      opt.corpus_path = next();
+    } else {
+      throw error("fleet: unknown flag '" + a + "'");
+    }
+  }
+  return opt;
+}
+
+}  // namespace nab::runtime

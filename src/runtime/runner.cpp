@@ -10,6 +10,7 @@
 #include "core/session.hpp"
 #include "obs/obs.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/hunt.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
 
@@ -19,12 +20,14 @@ namespace {
 
 /// Picks the run's corrupt set: f distinct nodes, drawn deterministically
 /// from the run rng. Equivocation only bites when the source is corrupt, so
-/// that strategy pins the source into the set; every other strategy keeps
-/// the source honest so validity stays a falsifiable invariant.
-std::vector<graph::node_id> pick_corrupt(const scenario& s, int n, rng& rand) {
+/// that strategy pins the source into the set (as may a hunted genome via
+/// its corrupt_source gene); every other strategy keeps the source honest so
+/// validity stays a falsifiable invariant.
+std::vector<graph::node_id> pick_corrupt(const scenario& s, int n, rng& rand,
+                                         bool pin_source) {
   std::vector<graph::node_id> corrupt;
   if (s.f == 0) return corrupt;
-  if (s.adversary == adversary_kind::equivocate) corrupt.push_back(s.source);
+  if (pin_source) corrupt.push_back(s.source);
   std::vector<graph::node_id> pool;
   for (graph::node_id v = 0; v < n; ++v)
     if (v != s.source) pool.push_back(v);
@@ -164,15 +167,32 @@ run_record execute_scenario(const scenario& s, int run_index,
     return rec;
   }
 
-  rng pick_rand(splitmix64(run_seed ^ 0xc0ffeeULL));
-  const std::vector<graph::node_id> corrupt = pick_corrupt(s, g.universe(), pick_rand);
+  // Hunted scenarios carry a serialized genome whose corrupt-set genes
+  // (corrupt_source, corrupt_salt) fully determine the pick below — the
+  // corrupt set is part of the searched strategy space, and deliberately
+  // NOT mixed with the run seed: a hunted genome's invariant margins are a
+  // pure function of (scenario, genome), so a promoted corpus entry records
+  // the same margins at every sweep seed and run index. Hand-written
+  // adversaries keep the seed-derived pick (coverage across instances).
+  std::optional<hunt_genome> genome;
+  if (s.adversary == adversary_kind::hunted)
+    genome = hunt_genome::from_params(s.genome);
+
+  rng pick_rand(genome
+                    ? splitmix64(0xc0ffeeULL ^ splitmix64(static_cast<std::uint64_t>(
+                                                   genome->corrupt_salt)))
+                    : splitmix64(run_seed ^ 0xc0ffeeULL));
+  const bool pin_source = s.adversary == adversary_kind::equivocate ||
+                          (genome && genome->corrupt_source != 0);
+  const std::vector<graph::node_id> corrupt =
+      pick_corrupt(s, g.universe(), pick_rand, pin_source);
   rec.corrupt.assign(corrupt.begin(), corrupt.end());
   sim::fault_set faults(g.universe(), corrupt);
 
   // Minority victim for the equivocating source: the lowest non-source node.
   graph::node_id minority = s.source == 0 ? 1 : 0;
   const auto adv = make_adversary(s.adversary, splitmix64(run_seed ^ 0xadbeefULL),
-                                  minority);
+                                  minority, s.genome);
 
   core::session_config cfg;
   cfg.g = g;
@@ -183,6 +203,7 @@ run_record execute_scenario(const scenario& s, int run_index,
   cfg.flag_protocol = s.flag_protocol;
   cfg.claim_backend = s.claim_backend;
   cfg.certify_cost_limit = s.certify_cost_limit;
+  cfg.pool_memory = s.pool_memory;
 
   // One run arena per executor shard (thread-confined, reused across every
   // run the shard executes): the steady-state sweep allocates nothing — each
@@ -228,10 +249,12 @@ run_record execute_scenario(const scenario& s, int run_index,
     if (faults.is_honest(v)) rec.conviction_sound = false;
   rec.dispute_bound = rec.dispute_phases <= s.f * (s.f + 1);
   // Dispute-bound headroom is runtime knowledge (the session does not know
-  // the paper's f(f+1) budget is the scoring baseline): full budget when no
-  // dispute phase ran, 0 when the bound was exactly met.
-  rec.margin_dispute_headroom =
-      static_cast<std::int64_t>(s.f) * (s.f + 1) - rec.dispute_phases;
+  // the paper's f(f+1) budget is the scoring baseline). Like the quorum
+  // gauges, it keeps the -1 "never exercised" sentinel on clean runs — an
+  // honest run is not "full headroom", it never entered the machinery.
+  if (rec.dispute_phases > 0)
+    rec.margin_dispute_headroom =
+        static_cast<std::int64_t>(s.f) * (s.f + 1) - rec.dispute_phases;
 
   reduce_trace(rec.nodes);
   harvest_obs();

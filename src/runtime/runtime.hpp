@@ -2,8 +2,9 @@
 
 /// Umbrella header for the parallel scenario runtime: declarative scenario
 /// registry (scenario.hpp), work-stealing sharded executor (executor.hpp),
-/// per-run execution with invariant checking (runner.hpp), and the JSON
-/// metrics sink (metrics.hpp).
+/// per-run execution with invariant checking (runner.hpp), the JSON metrics
+/// sink (metrics.hpp), the coverage-guided adversary search (hunt.hpp), and
+/// the fleet CLI parser (fleet_cli.hpp).
 ///
 /// Quick start:
 ///   #include "runtime/runtime.hpp"
@@ -18,6 +19,8 @@
 /// index) by splitmix64, never from scheduling.
 
 #include "runtime/executor.hpp"
+#include "runtime/fleet_cli.hpp"
+#include "runtime/hunt.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"

@@ -67,13 +67,17 @@ enum class adversary_kind {
   stealth,       ///< stealth_disputer (realizes the f(f+1) dispute bound)
   dispute_farm,  ///< dispute_farmer
   chaos,         ///< chaos_adversary (seeded fuzzing across all hooks)
+  hunted,        ///< genome_adversary replayed from scenario::genome (hunt.hpp)
 };
 
 /// Instantiates the strategy (nullptr for honest). `seed` feeds the seeded
-/// strategies; `minority` parameterizes the equivocating source.
+/// strategies; `minority` parameterizes the equivocating source; `genome` is
+/// the serialized hunt_genome a `hunted` scenario replays (required there,
+/// ignored everywhere else — see runtime/hunt.hpp).
 std::unique_ptr<core::nab_adversary> make_adversary(adversary_kind kind,
                                                     std::uint64_t seed,
-                                                    graph::node_id minority_victim);
+                                                    graph::node_id minority_victim,
+                                                    std::string_view genome = {});
 
 /// One fully concrete, runnable configuration — the unit of fleet work.
 struct scenario {
@@ -94,6 +98,15 @@ struct scenario {
   /// which the session trusts Theorem 1 instead of certifying). The n = 64
   /// presets raise it so certification actually runs at their Omega_k sizes.
   std::uint64_t certify_cost_limit = 1'000'000'000;
+  /// Serialized hunt_genome (hunt_genome::to_params form) when `adversary`
+  /// is `hunted`; empty otherwise. The registry's hunted_* presets pin the
+  /// worst-case genomes `fleet --hunt` found, so tier-1 replays them as
+  /// regression tests forever.
+  std::string genome;
+  /// Arena-pool the per-instance allocations (core::session_config). Both
+  /// settings must produce byte-identical records — the determinism tests
+  /// sweep this axis; presets leave it on.
+  bool pool_memory = true;
 
   bool operator==(const scenario&) const = default;
 };
@@ -117,6 +130,10 @@ struct scenario_family {
   int instances = 4;
   bool rotate_sources = false;
   std::uint64_t certify_cost_limit = 1'000'000'000;
+  /// Serialized hunt_genome for families whose adversary axis includes
+  /// `hunted` (the promoted hunted_* presets); copied into every expanded
+  /// scenario.
+  std::string genome;
 
   /// Cartesian product over all axes, deterministic order (topology-major).
   std::vector<scenario> expand() const;

@@ -1,0 +1,111 @@
+// fleet's CLI parser (runtime/fleet_cli.hpp): strict flag handling. A typo
+// like `--sced 7` must be a hard error naming the flag, not a silently
+// ignored token that runs the default sweep and stamps misleading metadata
+// into BENCH_runtime.json.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/fleet_cli.hpp"
+#include "util/error.hpp"
+
+namespace nab::runtime {
+namespace {
+
+fleet_options parse(std::initializer_list<const char*> args) {
+  return parse_fleet_args(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(FleetCli, DefaultsWhenNoArgs) {
+  const fleet_options opt = parse({});
+  EXPECT_EQ(opt, fleet_options{});
+  EXPECT_FALSE(opt.list);
+  EXPECT_EQ(opt.scenarios, "all");
+  EXPECT_EQ(opt.jobs, 1);
+  EXPECT_EQ(opt.seed, 1u);
+  EXPECT_EQ(opt.json_path, "BENCH_runtime.json");
+  EXPECT_FALSE(opt.hunt);
+}
+
+TEST(FleetCli, ParsesEverySweepFlag) {
+  const fleet_options opt =
+      parse({"--list", "--scenario", "fig1,ring", "--jobs", "8", "--seed",
+             "99", "--json", "out.json", "--trace", "t.json", "--timeline",
+             "tl.json", "--quiet"});
+  EXPECT_TRUE(opt.list);
+  EXPECT_EQ(opt.scenarios, "fig1,ring");
+  EXPECT_EQ(opt.jobs, 8);
+  EXPECT_EQ(opt.seed, 99u);
+  EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_EQ(opt.trace_path, "t.json");
+  EXPECT_EQ(opt.timeline_path, "tl.json");
+  EXPECT_TRUE(opt.quiet);
+}
+
+TEST(FleetCli, ParsesEveryHuntFlag) {
+  const fleet_options opt =
+      parse({"--hunt", "--hunt-families", "complete-f2", "--budget", "500",
+             "--population", "20", "--hunt-words", "8", "--hunt-instances",
+             "2", "--hunt-corpus", "c.json"});
+  EXPECT_TRUE(opt.hunt);
+  EXPECT_EQ(opt.hunt_families, "complete-f2");
+  EXPECT_EQ(opt.budget, 500);
+  EXPECT_EQ(opt.population, 20);
+  EXPECT_EQ(opt.hunt_words, 8u);
+  EXPECT_EQ(opt.hunt_instances, 2);
+  EXPECT_EQ(opt.corpus_path, "c.json");
+}
+
+TEST(FleetCli, UnknownFlagIsAnErrorNamingTheFlag) {
+  try {
+    parse({"--sced", "7"});
+    FAIL() << "expected nab::error";
+  } catch (const nab::error& e) {
+    EXPECT_NE(std::string(e.what()).find("--sced"), std::string::npos)
+        << "error must name the offending flag: " << e.what();
+  }
+  EXPECT_THROW(parse({"extra"}), nab::error);
+  EXPECT_THROW(parse({"--quiet", "--bogus"}), nab::error);
+}
+
+TEST(FleetCli, MissingValueIsAnError) {
+  EXPECT_THROW(parse({"--scenario"}), nab::error);
+  EXPECT_THROW(parse({"--jobs"}), nab::error);
+  EXPECT_THROW(parse({"--seed"}), nab::error);
+  EXPECT_THROW(parse({"--hunt-corpus"}), nab::error);
+}
+
+TEST(FleetCli, MalformedNumbersAreErrors) {
+  EXPECT_THROW(parse({"--jobs", "four"}), nab::error);
+  EXPECT_THROW(parse({"--jobs", "1e5"}), nab::error);
+  EXPECT_THROW(parse({"--seed", "-3"}), nab::error);
+  EXPECT_THROW(parse({"--seed", ""}), nab::error);
+  EXPECT_THROW(parse({"--seed", "12x"}), nab::error);
+  EXPECT_THROW(parse({"--seed", "99999999999999999999999"}), nab::error);
+  EXPECT_THROW(parse({"--budget", "0"}), nab::error);
+  EXPECT_THROW(parse({"--population", "0"}), nab::error);
+  EXPECT_THROW(parse({"--hunt-words", "0"}), nab::error);
+  // Bounded int flags reject absurd values instead of truncating.
+  EXPECT_THROW(parse({"--jobs", "2000000"}), nab::error);
+}
+
+TEST(FleetCli, SeedAndJobsEdgeValues) {
+  EXPECT_EQ(parse({"--seed", "0"}).seed, 0u);
+  EXPECT_EQ(parse({"--seed", "18446744073709551615"}).seed, UINT64_MAX);
+  // jobs is clamped up to 1, never an error for 0 (matches prior behavior).
+  EXPECT_EQ(parse({"--jobs", "0"}).jobs, 1);
+}
+
+TEST(FleetCli, UsageNamesEveryFlag) {
+  const std::string usage = fleet_usage();
+  for (const char* flag :
+       {"--list", "--scenario", "--jobs", "--seed", "--json", "--trace",
+        "--timeline", "--quiet", "--hunt", "--hunt-families", "--budget",
+        "--population", "--hunt-words", "--hunt-instances", "--hunt-corpus"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
+}  // namespace
+}  // namespace nab::runtime

@@ -29,8 +29,11 @@ TEST(ObsCounters, PopulateOnACertifiedRun) {
   EXPECT_GT(r.gf_rows_eliminated, 0u);
   EXPECT_GT(r.cert_subgraphs, 0u);
   EXPECT_GT(r.cache_lookups, 0u);
-  // Dispute headroom is set by the runner on every session run.
-  EXPECT_GE(r.margin_dispute_headroom, 0);
+  // fig1's front scenario is honest: no dispute phase ran, so the headroom
+  // gauge keeps its -1 "never exercised" sentinel like the quorum gauges
+  // (tests/runtime/test_margins.cpp pins the disputed cases).
+  ASSERT_EQ(r.dispute_phases, 0);
+  EXPECT_EQ(r.margin_dispute_headroom, -1);
   // Phase wall totals are recorded even without span capture.
   EXPECT_FALSE(r.timing.wall_by_phase.empty());
   bool saw_phase1 = false;
