@@ -44,6 +44,34 @@ void bm_inv(benchmark::State& state) {
 BENCHMARK(bm_inv<nab::gf::gf2_16>)->Name("gf2_16_inv");
 BENCHMARK(bm_inv<nab::gf::gf2m<16>>)->Name("gf2m16_inv_fermat");
 
+void bm_axpy_backend(benchmark::State& state, nab::gf::gf_backend backend) {
+  using F = nab::gf::gf2_16;
+  if (!F::set_backend(backend)) {
+    state.SkipWithError("backend unsupported on this CPU");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nab::rng rand(5);
+  std::vector<F::value_type> src(n), dst(n);
+  for (auto& x : src) x = static_cast<F::value_type>(rand.below(F::order));
+  for (auto& x : dst) x = static_cast<F::value_type>(rand.below(F::order));
+  for (auto _ : state) {
+    F::axpy(dst.data(), src.data(), 0x1b3f, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+  F::set_backend(nab::gf::gf_backend::scalar);
+}
+BENCHMARK_CAPTURE(bm_axpy_backend, scalar, nab::gf::gf_backend::scalar)
+    ->Name("gf2_16_axpy_scalar")->Arg(64)->Arg(640)->Arg(4096);
+BENCHMARK_CAPTURE(bm_axpy_backend, ssse3, nab::gf::gf_backend::ssse3)
+    ->Name("gf2_16_axpy_ssse3")->Arg(64)->Arg(640)->Arg(4096);
+BENCHMARK_CAPTURE(bm_axpy_backend, avx2, nab::gf::gf_backend::avx2)
+    ->Name("gf2_16_axpy_avx2")->Arg(64)->Arg(640)->Arg(4096);
+BENCHMARK_CAPTURE(bm_axpy_backend, neon, nab::gf::gf_backend::neon)
+    ->Name("gf2_16_axpy_neon")->Arg(64)->Arg(640)->Arg(4096);
+
 void bm_matrix_mul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   nab::rng rand(3);

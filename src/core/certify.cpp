@@ -327,11 +327,150 @@ bool dense_graph(const graph::digraph& g) {
   return density > 0.4;
 }
 
+/// The f = 1 leave-one-out shape: when exactly one more node is active than
+/// Omega_k's target size, every member of Omega_k is H_x = active \ {x}.
+/// One full Gauss-Jordan reduction of the all-blocks matrix M — one rho-row
+/// block per ACTIVE node over every active-edge column, the same layout as
+/// build_check_matrix but with no reference block dropped — then answers all
+/// |Omega_k| rank queries by a rank downdate each:
+///
+///  - x's block rows are supported entirely on X_x (the columns of
+///    x-incident edges), so on A_x = columns \ X_x the nonzero rows of
+///    M|A_x are exactly H_x's blocks; and since a column's two endpoint
+///    blocks coincide (characteristic 2), the all-blocks row sum vanishes
+///    per symbol, which makes H_x's reference block redundant:
+///    certified(H_x) iff rank(M|A_x) == (|H_x| - 1) rho.
+///  - In the reduced M (rank r, pivot set P), a row whose pivot lies
+///    outside X_x keeps its leading 1 on A_x with zeros above and below,
+///    while a row with pivot inside X_x is zero on every pivot column of
+///    A_x. Hence, exactly:
+///        rank(M|A_x) = (r - |P intersect X_x|) + rank(M'),
+///    where M' is the |P intersect X_x| x |free columns outside X_x|
+///    corner of the reduced matrix.
+///
+/// Cost: ONE big elimination plus one nullity-sized rank per member —
+/// versus a from-scratch elimination per member (the dense/naive path) or
+/// a DFS whose prefix sharing degenerates at this shape (every leaf differs
+/// from the next in its deepest nodes, so nearly the whole basis is torn
+/// down and rebuilt between leaves).
+certification certify_loo(const graph::digraph& g, std::size_t target,
+                          const dispute_record& disputes,
+                          const coding_scheme& coding) {
+  certification out;
+  out.ok = true;
+  const std::vector<graph::node_id> active = g.active_nodes();
+  const std::size_t rho = static_cast<std::size_t>(coding.rho());
+  NAB_ASSERT(target >= 2 && active.size() == target + 1,
+             "certify_loo requires the leave-one-out shape");
+
+  // Membership first: H_x is dispute-free iff x covers every disputed pair
+  // of active nodes, so the members are the intersection of those pairs
+  // (everyone when no pair is intra-active). No members means a vacuously
+  // certified Omega_k — return before paying for any elimination.
+  std::vector<bool> active_mask(static_cast<std::size_t>(g.universe()), false);
+  std::vector<bool> member(static_cast<std::size_t>(g.universe()), false);
+  for (graph::node_id v : active) {
+    active_mask[static_cast<std::size_t>(v)] = true;
+    member[static_cast<std::size_t>(v)] = true;
+  }
+  std::size_t member_count = active.size();
+  for (const auto& [a, b] : disputes.pairs()) {
+    if (!active_mask[static_cast<std::size_t>(a)] ||
+        !active_mask[static_cast<std::size_t>(b)])
+      continue;  // a pair with an inactive endpoint is never intra-H
+    for (graph::node_id v : active) {
+      if (v == a || v == b || !member[static_cast<std::size_t>(v)]) continue;
+      member[static_cast<std::size_t>(v)] = false;
+      --member_count;
+    }
+  }
+  if (member_count == 0) return out;
+
+  // The all-blocks matrix, plus each node's incident column list (= X_x).
+  const std::vector<graph::edge> edges = g.edges();
+  std::vector<int> pos(static_cast<std::size_t>(g.universe()), -1);
+  for (std::size_t i = 0; i < active.size(); ++i)
+    pos[static_cast<std::size_t>(active[i])] = static_cast<int>(i);
+  std::size_t total_cols = 0;
+  for (const graph::edge& e : edges) total_cols += static_cast<std::size_t>(e.cap);
+  gf::matrix<gf::gf2_16> m(active.size() * rho, total_cols);
+  std::vector<std::vector<std::size_t>> node_cols(
+      static_cast<std::size_t>(g.universe()));
+  std::size_t col = 0;
+  for (const graph::edge& e : edges) {
+    const auto& ce = coding.matrix_for(e.from, e.to);
+    NAB_ASSERT(static_cast<graph::capacity_t>(ce.cols()) == e.cap,
+               "coding matrix width must equal edge capacity");
+    const int pi = pos[static_cast<std::size_t>(e.from)];
+    const int pj = pos[static_cast<std::size_t>(e.to)];
+    NAB_ASSERT(pi >= 0 && pj >= 0, "active edge with an inactive endpoint");
+    for (std::size_t k = 0; k < ce.cols(); ++k, ++col) {
+      node_cols[static_cast<std::size_t>(e.from)].push_back(col);
+      node_cols[static_cast<std::size_t>(e.to)].push_back(col);
+      for (std::size_t s = 0; s < rho; ++s) {
+        const gfw c = ce.at(s, k);
+        m.at(static_cast<std::size_t>(pi) * rho + s, col) = c;
+        m.at(static_cast<std::size_t>(pj) * rho + s, col) = c;
+      }
+    }
+  }
+
+  std::vector<std::size_t> pivot_cols;
+  const std::size_t r = gf::row_reduce(m, &pivot_cols);
+  std::vector<int> pivot_row_of(total_cols, -1);
+  for (std::size_t i = 0; i < pivot_cols.size(); ++i)
+    pivot_row_of[pivot_cols[i]] = static_cast<int>(i);
+  std::vector<std::size_t> free_cols;
+  free_cols.reserve(total_cols - r);
+  for (std::size_t c = 0; c < total_cols; ++c)
+    if (pivot_row_of[c] < 0) free_cols.push_back(c);
+
+  // Leave-out index DESCENDING over the sorted active list, so failing
+  // subgraphs appear in the naive certifier's lexicographic subset order
+  // (omitting a larger node yields a lex-smaller subset).
+  const std::size_t need = (target - 1) * rho;
+  std::vector<bool> in_x(total_cols, false);
+  for (std::size_t i = active.size(); i-- > 0;) {
+    const graph::node_id x = active[i];
+    if (!member[static_cast<std::size_t>(x)]) continue;
+    obs::count(obs::counter::cert_subgraphs);
+    obs::count(obs::counter::cert_loo_downdates);
+    const std::vector<std::size_t>& xcols =
+        node_cols[static_cast<std::size_t>(x)];
+    for (std::size_t c : xcols) in_x[c] = true;
+    std::vector<std::size_t> piv_rows;
+    for (std::size_t c : xcols)
+      if (pivot_row_of[c] >= 0)
+        piv_rows.push_back(static_cast<std::size_t>(pivot_row_of[c]));
+    std::vector<std::size_t> sub_cols;
+    for (std::size_t c : free_cols)
+      if (!in_x[c]) sub_cols.push_back(c);
+    gf::matrix<gf::gf2_16> sub(piv_rows.size(), sub_cols.size());
+    for (std::size_t rr = 0; rr < piv_rows.size(); ++rr)
+      for (std::size_t cc = 0; cc < sub_cols.size(); ++cc)
+        sub.at(rr, cc) = m.at(piv_rows[rr], sub_cols[cc]);
+    const std::size_t rank_a = r - piv_rows.size() + gf::rank(std::move(sub));
+    for (std::size_t c : xcols) in_x[c] = false;
+    if (rank_a != need) {
+      out.ok = false;
+      std::vector<graph::node_id> h;
+      h.reserve(target);
+      for (graph::node_id v : active)
+        if (v != x) h.push_back(v);
+      out.failing.push_back(std::move(h));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 certification certify_coding_batched(const graph::digraph& g, int f,
                                      const dispute_record& disputes,
                                      const coding_scheme& coding) {
+  const int target = g.universe() - f;
+  if (target >= 2 && g.active_count() == target + 1)
+    return certify_loo(g, static_cast<std::size_t>(target), disputes, coding);
   if (dense_graph(g)) return certify_coding(g, f, disputes, coding);
   batched_certifier certifier(g, f, disputes, coding);
   return certifier.run();
@@ -340,17 +479,91 @@ certification certify_coding_batched(const graph::digraph& g, int f,
 std::uint64_t certify_cost_estimate(
     const graph::digraph& g, const std::vector<std::vector<graph::node_id>>& omega,
     int rho) {
-  const bool dense = dense_graph(g);
+  if (omega.empty()) return 0;
+  const auto rho_u = static_cast<std::uint64_t>(rho);
+  const std::vector<graph::node_id> active = g.active_nodes();
+  std::uint64_t total_cols = 0;
+  for (const graph::edge& e : g.edges())
+    total_cols += static_cast<std::uint64_t>(e.cap);
+
+  // Leave-one-out shape: ONE Gauss-Jordan of the all-blocks matrix plus a
+  // nullity-sized corner elimination per member — not |omega| independent
+  // eliminations. Pricing it as per-H work overstates the cost ~|omega|-fold
+  // and wrongly gates exactly the presets the downdate path makes cheap.
+  const std::size_t target = omega.front().size();
+  if (target >= 2 && active.size() == target + 1) {
+    const std::uint64_t rows = active.size() * rho_u;
+    // Rank tops out rho short of full: the per-symbol all-blocks row sums
+    // vanish (each column's two endpoint blocks coincide over GF(2^16)).
+    const std::uint64_t r = std::min(rows - rho_u, total_cols);
+    // Gauss-Jordan words: every pivot eliminates from ~all rows over a tail
+    // that shrinks one column per pivot.
+    std::uint64_t cost = rows * (r * total_cols - r * r / 2);
+    const std::uint64_t nfree = total_cols - r;
+    std::vector<std::uint64_t> incident_cols(
+        static_cast<std::size_t>(g.universe()), 0);
+    std::uint64_t active_sum = 0;
+    for (const graph::edge& e : g.edges()) {
+      incident_cols[static_cast<std::size_t>(e.from)] +=
+          static_cast<std::uint64_t>(e.cap);
+      incident_cols[static_cast<std::size_t>(e.to)] +=
+          static_cast<std::uint64_t>(e.cap);
+    }
+    for (graph::node_id v : active) active_sum += static_cast<std::uint64_t>(v);
+    for (const auto& h : omega) {
+      // The left-out node is the one active node missing from h.
+      std::uint64_t h_sum = 0;
+      for (graph::node_id v : h) h_sum += static_cast<std::uint64_t>(v);
+      const auto x = static_cast<std::size_t>(active_sum - h_sum);
+      // Pivot columns land roughly uniformly, so ~r/total_cols of x's
+      // incident columns carry one — min(|X_x|, r) alone overstates the
+      // corner size ~|omega|-fold on sparse graphs, where r << total_cols.
+      const std::uint64_t px =
+          std::min(incident_cols[x],
+                   std::max<std::uint64_t>(
+                       1, total_cols == 0 ? 0 : r * incident_cols[x] / total_cols));
+      const std::uint64_t sub_r = std::min(px, nfree);
+      cost += px * (sub_r * nfree - sub_r * sub_r / 2);
+    }
+    return cost;
+  }
+
+  if (dense_graph(g)) {
+    // Naive path: a from-scratch Gauss-Jordan of each member's check matrix.
+    std::uint64_t cost = 0;
+    for (const auto& h : omega) {
+      if (h.size() <= 1) continue;
+      const std::uint64_t rows = (h.size() - 1) * rho_u;
+      std::uint64_t cols = 0;
+      for (const graph::edge& e : g.induced(h).edges())
+        cols += static_cast<std::uint64_t>(e.cap);
+      const std::uint64_t r = std::min(rows, cols);
+      cost += rows * (r * cols - r * r / 2);
+    }
+    return cost;
+  }
+
+  // Sparse DFS path: the certifier pays per prefix PUSH, not per leaf, and
+  // the lexicographic walk shares every common prefix — which the LCP of
+  // consecutive omega members reproduces exactly. A push reduces ~2 rho
+  // rows (rho raw + rho ghosts) against the pivots of its fresh column
+  // window, each reduction a full-width axpy.
   std::uint64_t cost = 0;
+  const std::vector<graph::node_id>* prev = nullptr;
   for (const auto& h : omega) {
-    if (h.size() <= 1) continue;
-    const std::uint64_t rows = (h.size() - 1) * static_cast<std::uint64_t>(rho);
-    std::uint64_t cols = 0;
-    for (const graph::edge& e : g.induced(h).edges())
-      cols += static_cast<std::uint64_t>(e.cap);
-    // Dense graphs dispatch to per-H elimination (~rows^2 * cols); sparse
-    // ones amortize to one rho-row extension per H on the shared basis.
-    cost += (dense ? rows : static_cast<std::uint64_t>(rho)) * rows * cols;
+    std::size_t lcp = 0;
+    if (prev != nullptr)
+      while (lcp < h.size() && lcp < prev->size() && (*prev)[lcp] == h[lcp])
+        ++lcp;
+    for (std::size_t p = lcp; p < h.size(); ++p) {
+      std::uint64_t new_cols = 0;
+      for (std::size_t q = 0; q < p; ++q)
+        new_cols += static_cast<std::uint64_t>(g.cap(h[p], h[q])) +
+                    static_cast<std::uint64_t>(g.cap(h[q], h[p]));
+      const std::uint64_t window = std::min(new_cols, 2 * rho_u);
+      cost += 2 * rho_u * window * total_cols + rho_u * total_cols;
+    }
+    prev = &h;
   }
   return cost;
 }

@@ -49,16 +49,28 @@ certification certify_coding(const graph::digraph& g, int f,
 /// backtracking truncates. Each H then costs one node-extension
 /// (~rho * rows * cols field ops) instead of a from-scratch elimination
 /// (~rows^2 * cols), an (n-f)-fold saving that makes K_16-class
-/// certification affordable. Results are bit-identical to certify_coding
-/// (the per-H verdicts and their order); tests cross-check the two.
+/// certification affordable.
+///
+/// Two shapes dispatch away from the DFS. The f = 1 leave-one-out shape
+/// (exactly one more active node than the target size) runs ONE reduction
+/// of the all-active-blocks matrix and answers each member H_x by a rank
+/// downdate over x's columns — the shape where DFS prefix sharing is worth
+/// the least and where the per-H work is the largest (K_64-complete,
+/// n = 128). Dense graphs otherwise fall back to per-H eliminations (the
+/// naive path on the batched kernels). Results are bit-identical across
+/// all paths (the per-H verdicts and their order); tests cross-check them.
 certification certify_coding_batched(const graph::digraph& g, int f,
                                      const dispute_record& disputes,
                                      const coding_scheme& coding);
 
-/// Estimated GF-operation count of certify_coding_batched over this Omega_k
-/// — mirrors its internal density dispatch (naive per-H eliminations at
-/// ~rows^2 * cols on dense graphs, one shared rho * rows * cols extension
-/// per H on sparse ones), so cost gates stay honest about which path runs.
+/// Estimated GF *word* count of certify_coding_batched over this Omega_k —
+/// mirrors its full three-way dispatch so cost gates price the path that
+/// will actually run: leave-one-out (one all-blocks Gauss-Jordan plus a
+/// nullity-sized corner rank per member), dense/naive (a from-scratch
+/// elimination per member), or the sparse DFS (per prefix-push work,
+/// reconstructed from the LCP structure of omega's lexicographic order).
+/// Comparable to the measured gf_axpy_words + gf_scale_words of a
+/// certification run within a small constant factor (pinned by tests).
 std::uint64_t certify_cost_estimate(const graph::digraph& g,
                                     const std::vector<std::vector<graph::node_id>>& omega,
                                     int rho);

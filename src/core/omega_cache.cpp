@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "core/certify.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/maxflow.hpp"
 #include "obs/obs.hpp"
@@ -104,6 +105,8 @@ std::shared_ptr<const omega_analysis> omega_cache::analyze(
                           value->omega = omega_subgraphs(g, f, disputes);
                           value->uk = compute_uk(g, value->omega);
                           value->rho = compute_rho(value->uk);
+                          value->certify_cost = certify_cost_estimate(
+                              g, value->omega, static_cast<int>(value->rho));
                           return value;
                         });
 }

@@ -64,13 +64,11 @@ void session::refresh_graph_state() {
   // makes failure vanishingly unlikely; regeneration with a fresh seed is
   // the correct response when it does happen. When the rank checks would be
   // prohibitively large (rho_k scales with link capacities) we trust the
-  // theorem instead of certifying. certify_cost_estimate mirrors the
-  // batched certifier's dense/sparse dispatch, so the gate prices the path
-  // that will actually run.
+  // theorem instead of certifying. The estimate mirrors the batched
+  // certifier's leave-one-out / dense / DFS dispatch, so the gate prices
+  // the path that will actually run; it is cached with the analysis.
   bool certify = cfg_.certify;
-  if (certify &&
-      certify_cost_estimate(gk_, analysis_->omega, static_cast<int>(rho_)) >
-          cfg_.certify_cost_limit)
+  if (certify && analysis_->certify_cost > cfg_.certify_cost_limit)
     certify = false;
   for (int attempt = 0;; ++attempt) {
     {

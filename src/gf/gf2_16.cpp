@@ -1,6 +1,5 @@
 #include "gf/gf2_16.hpp"
 
-#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace nab::gf {
@@ -35,35 +34,7 @@ gf2_16::value_type gf2_16::pow(value_type a, std::uint64_t e) {
   return tab.exp[le];
 }
 
-void gf2_16::axpy(value_type* dst, const value_type* src, value_type coeff,
-                  std::size_t n) {
-  if (coeff == 0) return;
-  // Counted per call, not per element: the ambient-collector check must stay
-  // out of the word loop (this is the certification hot path).
-  obs::count(obs::counter::gf_axpy_words, n);
-  const auto& tab = detail::gf2_16_t;
-  const unsigned lc = tab.log[coeff];
-  for (std::size_t i = 0; i < n; ++i) {
-    const value_type s = src[i];
-    if (s == 0) continue;
-    dst[i] = static_cast<value_type>(dst[i] ^ tab.exp[lc + tab.log[s]]);
-  }
-}
-
-void gf2_16::scale(value_type* v, value_type coeff, std::size_t n) {
-  if (coeff == 1) return;
-  if (coeff == 0) {
-    for (std::size_t i = 0; i < n; ++i) v[i] = 0;
-    return;
-  }
-  obs::count(obs::counter::gf_scale_words, n);
-  const auto& tab = detail::gf2_16_t;
-  const unsigned lc = tab.log[coeff];
-  for (std::size_t i = 0; i < n; ++i) {
-    const value_type s = v[i];
-    if (s == 0) continue;
-    v[i] = tab.exp[lc + tab.log[s]];
-  }
-}
+// axpy / scale live in gf2_16_kernels.cpp: the dispatcher, the scalar
+// reference loops, and the SIMD backends they select among.
 
 }  // namespace nab::gf

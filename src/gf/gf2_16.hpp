@@ -5,6 +5,15 @@
 
 namespace nab::gf {
 
+/// Row-kernel implementation backends for gf2_16::axpy / gf2_16::scale.
+/// `scalar` is the portable loop and the bit-exact reference; the SIMD
+/// backends run the standard 4-bit half-table multiply (GF-Complete /
+/// sparsenc's `multiply_add_region` trick) over the two byte planes of each
+/// 16-bit word — x86 `pshufb` (SSSE3, widened on AVX2) or AArch64 `vtbl`.
+/// Every backend produces identical bytes and identical obs counters; only
+/// throughput differs.
+enum class gf_backend : int { scalar, ssse3, avx2, neon };
+
 namespace detail {
 
 /// Log/antilog tables for GF(2^16) (128 KiB + 256 KiB), computed at compile
@@ -80,12 +89,34 @@ class gf2_16 {
   static value_type pow(value_type a, std::uint64_t e);
 
   /// dst[i] += coeff * src[i] for i in [0, n). The workhorse of row
-  /// elimination: one log lookup for the scalar, two table hits per element.
+  /// elimination; dispatches to the active backend (gf2_16_kernels.cpp).
+  ///
+  /// Counter contract: `gf_axpy_words` counts words PRESENTED (n per call,
+  /// before the coeff == 0 early-out), not words multiplied — the SIMD
+  /// paths branch on neither coeff nor the per-word s == 0 skip, and the
+  /// deterministic-counter byte-identity contract (jobs-1-vs-N,
+  /// pooled-vs-unpooled, scalar-vs-SIMD) requires one definition that every
+  /// backend can report identically.
   static void axpy(value_type* dst, const value_type* src, value_type coeff,
                    std::size_t n);
 
-  /// v[i] *= coeff for i in [0, n).
+  /// v[i] *= coeff for i in [0, n). Same words-presented counter contract
+  /// as axpy (`gf_scale_words` counts n even for coeff 0 / 1).
   static void scale(value_type* v, value_type coeff, std::size_t n);
+
+  /// The active row-kernel backend. Selected once on first kernel use:
+  /// NAB_GF_BACKEND=scalar|ssse3|avx2|neon forces a backend (silently
+  /// falling back to the best supported one when this CPU lacks it);
+  /// unset/auto picks the widest supported instruction set.
+  static gf_backend backend();
+
+  /// Forces a backend at runtime (tests; the env override uses the same
+  /// path). Returns false — leaving the active backend unchanged — when
+  /// this build/CPU does not support `b`. Not safe to call concurrently
+  /// with in-flight kernels; tests switch backends only between operations.
+  static bool set_backend(gf_backend b);
+
+  static const char* backend_name(gf_backend b);
 };
 
 }  // namespace nab::gf

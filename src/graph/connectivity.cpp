@@ -60,15 +60,35 @@ bool global_vertex_connectivity_at_least(const digraph& g, int k) {
   if (k <= 0) return true;
   const std::vector<node_id> nodes = g.active_nodes();
   NAB_ASSERT(nodes.size() >= 2, "global_vertex_connectivity needs >= 2 nodes");
+  // Capped pair probe: route the flow s_in -> t_out so it must traverse
+  // both capacity-k terminal arcs — the value is then min(k, kappa(s, t))
+  // and Dinic stops after at most k augmentations instead of computing the
+  // full pair connectivity.
+  auto pair_at_least = [&](node_id s, node_id t) {
+    const digraph sp = split_graph(g, s, t, static_cast<capacity_t>(k));
+    return min_cut_value(sp, 2 * s, 2 * t + 1) >= k;
+  };
+  // Pivot reduction (Even-Tarjan style): fix any k pivots. A vertex cut C
+  // with |C| < k misses at least one pivot v, and v then lies on one side
+  // of C, so kappa(v, u) < k or kappa(u, v) < k for some u (the deficient
+  // pair is non-adjacent, where the capped probe is exact). Checking every
+  // (pivot, other) pair in both directions therefore decides kappa >= k
+  // with 2*k*n flows instead of n*(n-1) — only worth it when that is
+  // actually fewer.
+  const std::size_t n = nodes.size();
+  if (2 * static_cast<std::size_t>(k) < n - 1) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i)
+      for (node_id u : nodes) {
+        if (u == nodes[i]) continue;
+        if (!pair_at_least(nodes[i], u) || !pair_at_least(u, nodes[i]))
+          return false;
+      }
+    return true;
+  }
   for (node_id s : nodes)
     for (node_id t : nodes) {
       if (s == t) continue;
-      // Route the flow s_in -> t_out so it must traverse both capacity-k
-      // terminal arcs: the value is then min(k, kappa(s, t)) and Dinic
-      // stops after at most k augmentations instead of computing the full
-      // pair connectivity.
-      const digraph sp = split_graph(g, s, t, static_cast<capacity_t>(k));
-      if (min_cut_value(sp, 2 * s, 2 * t + 1) < k) return false;
+      if (!pair_at_least(s, t)) return false;
     }
   return true;
 }

@@ -14,6 +14,7 @@ const char* counter_name(counter c) {
     case counter::cert_prefix_pops: return "cert_prefix_pops";
     case counter::cert_ghost_repushes: return "cert_ghost_repushes";
     case counter::cert_subgraphs: return "cert_subgraphs";
+    case counter::cert_loo_downdates: return "cert_loo_downdates";
     case counter::cache_lookups: return "cache_lookups";
     case counter::cache_hits: return "cache_hits";
     case counter::cache_misses: return "cache_misses";

@@ -29,6 +29,7 @@ enum class counter : int {
   cert_prefix_pops,     ///< node extensions rewound
   cert_ghost_repushes,  ///< ghost rows re-reduced over a fresh column window
   cert_subgraphs,       ///< Omega_k leaves whose rank was checked
+  cert_loo_downdates,   ///< f=1 leave-one-out rank downdates (one per member)
   // --- omega_cache (core/omega_cache) ---
   cache_lookups,        ///< deterministic: queries issued by this run
   cache_hits,           ///< machine: depends on cross-shard scheduling

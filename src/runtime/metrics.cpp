@@ -228,6 +228,7 @@ json run_record::to_json(bool include_timing) const {
       .set("cert_prefix_pops", json::num(cert_prefix_pops))
       .set("cert_ghost_repushes", json::num(cert_ghost_repushes))
       .set("cert_subgraphs", json::num(cert_subgraphs))
+      .set("cert_loo_downdates", json::num(cert_loo_downdates))
       .set("cache_lookups", json::num(cache_lookups))
       .set("claim_echoes", json::num(claim_echoes))
       .set("claim_readys", json::num(claim_readys))

@@ -136,6 +136,7 @@ struct run_record {
   std::uint64_t cert_prefix_pops = 0;
   std::uint64_t cert_ghost_repushes = 0;
   std::uint64_t cert_subgraphs = 0;
+  std::uint64_t cert_loo_downdates = 0;  ///< f=1 leave-one-out rank downdates
   std::uint64_t cache_lookups = 0;       ///< deterministic companion of hit/miss
   std::uint64_t claim_echoes = 0;
   std::uint64_t claim_readys = 0;

@@ -115,6 +115,7 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.cert_prefix_pops = col.value(obs::counter::cert_prefix_pops);
     rec.cert_ghost_repushes = col.value(obs::counter::cert_ghost_repushes);
     rec.cert_subgraphs = col.value(obs::counter::cert_subgraphs);
+    rec.cert_loo_downdates = col.value(obs::counter::cert_loo_downdates);
     rec.cache_lookups = col.value(obs::counter::cache_lookups);
     rec.claim_echoes = col.value(obs::counter::claim_echoes);
     rec.claim_readys = col.value(obs::counter::claim_readys);

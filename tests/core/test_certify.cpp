@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "gf/linalg.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace nab::core {
@@ -135,6 +139,130 @@ TEST(CertifyBatched, AgreesWithNaiveUnderDisputes) {
     const certification batched = certify_coding_batched(g, f, disputes, cs);
     EXPECT_EQ(naive.ok, batched.ok) << "trial " << trial;
     EXPECT_EQ(naive.failing, batched.failing) << "trial " << trial;
+  }
+}
+
+TEST(CertifyBatched, LeaveOneOutAgreesWithNaiveWithInactiveNodesAndDisputes) {
+  // The leave-one-out shape (active == target + 1) is reached both by f = 1
+  // on a fully active graph and by larger f after convictions shrank the
+  // active set. Verdicts, failing lists, AND their order must match the
+  // naive certifier in every combination of disputes / inactive nodes /
+  // over-large rho.
+  rng rand(91);
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::digraph g =
+        graph::erdos_renyi(7 + static_cast<int>(rand.below(2)), 0.6, 1, 2, rand);
+    int f = 1;
+    if (trial % 3 == 1) {
+      // Convict one node: active = n - 1 == (n - 2) + 1, the f = 2 shape.
+      g.remove_node(g.active_nodes()[rand.below(g.active_nodes().size())]);
+      f = 2;
+    }
+    dispute_record disputes;
+    if (trial % 2 == 1) {
+      const auto nodes = g.active_nodes();
+      const graph::node_id a = nodes[rand.below(nodes.size())];
+      const graph::node_id b = nodes[rand.below(nodes.size())];
+      if (a != b) {
+        disputes.add_dispute(a, b);
+        g.remove_edge_pair(a, b);
+      }
+    }
+    const auto uk = compute_uk(g, f, disputes);
+    if (uk < 2) continue;
+    const int rho = static_cast<int>(compute_rho(uk)) + (trial % 5 == 0 ? 4 : 0);
+    const coding_scheme cs = coding_scheme::generate(g, rho, 1000 + trial);
+    obs::collector col;
+    certification naive, batched;
+    {
+      obs::scoped_collector scope(&col);
+      naive = certify_coding(g, f, disputes, cs);
+      batched = certify_coding_batched(g, f, disputes, cs);
+    }
+    ASSERT_EQ(g.active_count(), g.universe() - f + 1);  // the LOO shape
+    EXPECT_EQ(naive.ok, batched.ok) << "trial " << trial;
+    EXPECT_EQ(naive.failing, batched.failing) << "trial " << trial;
+    // One downdate per Omega_k member, and the member count is what the
+    // naive path certified.
+    EXPECT_EQ(col.value(obs::counter::cert_loo_downdates),
+              col.value(obs::counter::cert_subgraphs) / 2)
+        << "trial " << trial;
+  }
+}
+
+TEST(CertifyBatched, LeaveOneOutDisjointDisputesEmptyOmegaShortCircuits) {
+  // Two disjoint disputed pairs leave no leave-one-out member (no single
+  // node covers both pairs): Omega_k is empty, certification is vacuously
+  // ok, and the downdate path must notice BEFORE paying for an elimination.
+  const graph::digraph g = graph::complete(6);
+  dispute_record disputes;
+  disputes.add_dispute(0, 1);
+  disputes.add_dispute(2, 3);
+  const coding_scheme cs = coding_scheme::generate(g, 2, 17);
+  EXPECT_TRUE(omega_subgraphs(g, 1, disputes).empty());
+  obs::collector col;
+  certification c;
+  {
+    obs::scoped_collector scope(&col);
+    c = certify_coding_batched(g, 1, disputes, cs);
+  }
+  EXPECT_TRUE(c.ok);
+  EXPECT_EQ(col.value(obs::counter::cert_subgraphs), 0u);
+  EXPECT_EQ(col.value(obs::counter::cert_loo_downdates), 0u);
+  EXPECT_EQ(col.value(obs::counter::gf_rows_eliminated), 0u);
+}
+
+TEST(CertifyEstimate, TracksMeasuredWordsWithinBoundedFactorOnEveryDispatchPath) {
+  // certify_cost_estimate models the same three-way dispatch
+  // certify_coding_batched performs (leave-one-out / dense re-factorization /
+  // sparse prefix walk), in the same unit the kernels count (GF words
+  // presented to axpy/scale). The estimate gates certification in
+  // core::session, so a model that drifts from the measured cost silently
+  // mis-gates presets — this pins est/measured into [1/6, 6] across
+  // topologies covering all three paths. The bound is deliberately loose
+  // (the model ignores pivot clustering and early exits) but one-sided
+  // drift by an order of magnitude, like the pre-fix 15x sparse
+  // overestimate, fails it.
+  struct probe_case {
+    const char* name;
+    graph::digraph g;
+    int f;
+    int extra_rho;
+  };
+  rng rand(31);
+  std::vector<probe_case> cases;
+  cases.push_back({"fig1a/f1", graph::paper_fig1a(), 1, 0});           // LOO
+  cases.push_back({"fig1b/f1", graph::paper_fig1b(), 1, 0});           // LOO
+  cases.push_back({"complete7cap2/f1", graph::complete(7, 2), 1, 0});  // LOO
+  cases.push_back({"complete7cap2/f1/rho+4", graph::complete(7, 2), 1, 4});
+  cases.push_back({"complete7/f2", graph::complete(7, 1), 2, 0});      // dense
+  cases.push_back({"complete6/f2", graph::complete(6, 1), 2, 0});      // dense
+  cases.push_back({"hypercube3/f1", graph::hypercube(3, 2), 1, 0});    // LOO
+  cases.push_back({"hypercube4/f1", graph::hypercube(4, 1), 1, 0});    // LOO
+  cases.push_back({"hypercube4/f2", graph::hypercube(4, 1), 2, 0});    // DFS
+  cases.push_back({"wan3x3/f1", graph::clustered_wan(3, 3, 4, 1), 1, 0});
+  cases.push_back({"wan4x4/f2", graph::clustered_wan(4, 4, 4, 1), 2, 0});  // DFS
+  cases.push_back(
+      {"regular8d4/f1", graph::random_regular(8, 4, 1, 3, rand), 1, 0});
+  for (const probe_case& c : cases) {
+    const dispute_record none;
+    const graph::capacity_t uk = compute_uk(c.g, c.f, none);
+    const int rho = static_cast<int>(compute_rho(uk)) + c.extra_rho;
+    const auto omega = omega_subgraphs(c.g, c.f, none);
+    ASSERT_FALSE(omega.empty()) << c.name;
+    const coding_scheme cs = coding_scheme::generate(c.g, rho, 42);
+    obs::collector col;
+    {
+      obs::scoped_collector scope(&col);
+      certify_coding_batched(c.g, c.f, none, cs);
+    }
+    const std::uint64_t measured = col.value(obs::counter::gf_axpy_words) +
+                                   col.value(obs::counter::gf_scale_words);
+    const std::uint64_t est = certify_cost_estimate(c.g, omega, rho);
+    ASSERT_GT(measured, 0u) << c.name;
+    const double ratio = static_cast<double>(est) / static_cast<double>(measured);
+    EXPECT_GE(ratio, 1.0 / 6.0) << c.name << " est=" << est << " meas=" << measured;
+    EXPECT_LE(ratio, 6.0) << c.name << " est=" << est << " meas=" << measured;
   }
 }
 

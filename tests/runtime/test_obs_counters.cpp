@@ -28,6 +28,9 @@ TEST(ObsCounters, PopulateOnACertifiedRun) {
   EXPECT_GT(r.gf_axpy_words, 0u);
   EXPECT_GT(r.gf_rows_eliminated, 0u);
   EXPECT_GT(r.cert_subgraphs, 0u);
+  // fig1 runs fault-free: omega is the whole graph, so the f = 1
+  // leave-one-out certifier must NOT have engaged.
+  EXPECT_EQ(r.cert_loo_downdates, 0u);
   EXPECT_GT(r.cache_lookups, 0u);
   // fig1's front scenario is honest: no dispute phase ran, so the headroom
   // gauge keeps its -1 "never exercised" sentinel like the quorum gauges
@@ -42,6 +45,30 @@ TEST(ObsCounters, PopulateOnACertifiedRun) {
     saw_phase1 = saw_phase1 || phase == "phase1";
   }
   EXPECT_TRUE(saw_phase1);
+}
+
+TEST(ObsCounters, LeaveOneOutCertifierCountsOneDowndatePerSubgraph) {
+  // An f = 1 run whose active set sits exactly at target + 1 takes the
+  // leave-one-out certifier: every Omega member is checked by a rank
+  // downdate of the shared full factorization, never by its own
+  // re-factorization, so the two counters must advance in lockstep. K7 at
+  // f = 1 (active = 7 = target + 1) is the cheapest registry scenario with
+  // that shape.
+  const std::vector<scenario> sweep = select_scenarios("complete");
+  const scenario* loo = nullptr;
+  for (const scenario& s : sweep)
+    if (s.topology.n == 7 && s.f == 1 && s.adversary == adversary_kind::honest)
+      loo = &s;
+  ASSERT_NE(loo, nullptr);
+  const run_record r = execute_scenario(*loo, 0, 11);
+  ASSERT_TRUE(r.ok()) << r.scenario;
+  EXPECT_GT(r.cert_loo_downdates, 0u);
+  EXPECT_EQ(r.cert_loo_downdates, r.cert_subgraphs);
+  // The leave-one-out path never touches the sparse prefix walk.
+  EXPECT_EQ(r.cert_prefix_pushes, 0u);
+  EXPECT_EQ(r.cert_prefix_pops, 0u);
+  // Counter determinism: an identical re-execution reproduces the record.
+  EXPECT_EQ(r, execute_scenario(*loo, 0, 11));
 }
 
 TEST(ObsCounters, ClaimTalliesAndMarginsOnDisputedCollapsedRuns) {

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "core/certify.hpp"
+#include "core/omega.hpp"
 #include "graph/connectivity.hpp"
 #include "runtime/runner.hpp"
 #include "util/error.hpp"
@@ -90,16 +92,30 @@ TEST(Registry, TopologyNodesMatchesBuiltGraph) {
 TEST(Registry, PresetTopologiesSupportTheirFaultBudgets) {
   // Deterministic presets must satisfy n >= 3f+1 and connectivity >= 2f+1
   // outright; random presets get the runner's reseed loop, so they are only
-  // required to declare feasible parameters (d >= 2f+1 etc.).
+  // required to declare feasible parameters (d >= 2f+1 etc.). Each distinct
+  // (topology, f) pair is checked once — the adversary/word axes multiply
+  // scenarios without changing the graph — and the 2f+1 bound uses the
+  // capped decision check so the frontier presets (K_64, n = 128) don't pay
+  // for exact connectivity they never rely on.
   rng rand(11);
+  std::set<std::string> seen;
   for (const scenario& s : all_scenarios()) {
     if (s.topology.kind == topology_kind::erdos_renyi ||
         s.topology.kind == topology_kind::random_regular)
       continue;
+    const auto& t = s.topology;
+    const std::string key = to_string(t.kind) + ":" + std::to_string(t.n) + ":" +
+                            std::to_string(t.param_a) + ":" +
+                            std::to_string(t.param_b) + ":" +
+                            std::to_string(t.cap_lo) + ":" +
+                            std::to_string(t.cap_hi) + ":" + std::to_string(s.f);
+    if (!seen.insert(key).second) continue;
     const graph::digraph g = build_topology(s.topology, rand);
     EXPECT_GE(g.universe(), 3 * s.f + 1) << s.name;
-    if (s.f > 0)
-      EXPECT_GE(graph::global_vertex_connectivity(g), 2 * s.f + 1) << s.name;
+    if (s.f > 0) {
+      EXPECT_TRUE(graph::global_vertex_connectivity_at_least(g, 2 * s.f + 1))
+          << s.name;
+    }
   }
 }
 
@@ -133,6 +149,57 @@ TEST(Registry, N64PresetsPinTheCollapsedClaimBackend) {
   EXPECT_EQ(seen.size(), 3u);
 }
 
+TEST(Registry, FrontierPresetsPinTheLeaveOneOutScale) {
+  // K_64-complete and the 128-node hypercube exist because the f = 1
+  // leave-one-out certifier and the SIMD row kernels make their rank checks
+  // affordable; they must keep the shape that guarantees that path (f = 1,
+  // collapsed claims) and k64_complete must keep the measured-scale gate
+  // (~3.2e10 GF words) that admits its certification.
+  const scenario_family* k64c = find_family("k64_complete");
+  ASSERT_NE(k64c, nullptr);
+  EXPECT_EQ(k64c->certify_cost_limit, 64'000'000'000u);
+  for (const scenario& s : k64c->expand()) {
+    EXPECT_EQ(s.topology.kind, topology_kind::complete) << s.name;
+    EXPECT_EQ(topology_nodes(s.topology), 64) << s.name;
+    EXPECT_EQ(s.f, 1) << s.name;
+    EXPECT_EQ(s.claim_backend, bb::claim_backend::collapsed) << s.name;
+  }
+  const scenario_family* d7 = find_family("hypercube_d7");
+  ASSERT_NE(d7, nullptr);
+  for (const scenario& s : d7->expand()) {
+    EXPECT_EQ(topology_nodes(s.topology), 128) << s.name;
+    EXPECT_EQ(s.f, 1) << s.name;
+    EXPECT_EQ(s.claim_backend, bb::claim_backend::collapsed) << s.name;
+  }
+}
+
+TEST(Registry, EveryPresetsCertifyCostEstimateFitsItsLimit) {
+  // The session gate skips certification when certify_cost_estimate exceeds
+  // the preset's certify_cost_limit, so a preset whose estimate outgrows its
+  // limit silently stops exercising the rank checks. Re-validate every
+  // distinct (topology, f, limit) in the catalog against the current model
+  // (random topologies are built from a fixed seed, like the other sweeps).
+  rng rand(11);
+  std::set<std::string> seen;
+  for (const scenario& s : all_scenarios()) {
+    const auto& t = s.topology;
+    const std::string key = to_string(t.kind) + ":" + std::to_string(t.n) + ":" +
+                            std::to_string(t.param_a) + ":" +
+                            std::to_string(t.param_b) + ":" +
+                            std::to_string(t.cap_lo) + ":" +
+                            std::to_string(t.cap_hi) + ":" + std::to_string(s.f) +
+                            ":" + std::to_string(s.certify_cost_limit);
+    if (!seen.insert(key).second) continue;
+    const graph::digraph g = build_topology(t, rand);
+    const core::dispute_record none;
+    const auto uk = core::compute_uk(g, s.f, none);
+    const auto omega = core::omega_subgraphs(g, s.f, none);
+    const std::uint64_t est = core::certify_cost_estimate(
+        g, omega, static_cast<int>(core::compute_rho(uk)));
+    EXPECT_LE(est, s.certify_cost_limit) << s.name;
+  }
+}
+
 TEST(Registry, PhaseKingEnginesAreOnlyConfiguredAboveFourF) {
   // The > 4f precondition of both phase-king engines (flag broadcast and
   // claim backend) is a registry-time feasibility rule: an undersized preset
@@ -141,12 +208,14 @@ TEST(Registry, PhaseKingEnginesAreOnlyConfiguredAboveFourF) {
   // original network).
   for (const scenario& s : all_scenarios()) {
     const int n = topology_nodes(s.topology);
-    if (s.flag_protocol == bb::bb_protocol::phase_king)
+    if (s.flag_protocol == bb::bb_protocol::phase_king) {
       EXPECT_TRUE(bb::phase_king_admissible(static_cast<std::size_t>(n), s.f))
           << s.name;
-    if (s.claim_backend == bb::claim_backend::phase_king)
+    }
+    if (s.claim_backend == bb::claim_backend::phase_king) {
       EXPECT_TRUE(bb::phase_king_admissible(static_cast<std::size_t>(n), s.f))
           << s.name;
+    }
   }
 }
 
