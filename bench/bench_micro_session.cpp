@@ -14,8 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "bb/channels.hpp"
 #include "core/nab.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/tree_packing.hpp"
 #include "obs/obs.hpp"
 #include "runtime/metrics.hpp"
 #include "util/heap_alloc_counter.hpp"
@@ -124,6 +128,55 @@ std::vector<result> bench_phase_breakdown(int n, std::size_t words) {
   return rows;
 }
 
+/// One timed call — for the retired from-scratch reference paths, whose
+/// per-iteration cost (seconds to minutes at frontier sizes) would dominate
+/// the suite under the 0.2s/3-iteration loop.
+template <typename Body>
+std::pair<double, int> measure_once(Body&& body) {
+  const auto t0 = clock_type::now();
+  body();
+  return {seconds_since(t0), 1};
+}
+
+/// The plan/route frontier shapes: hypercubes force real flow work (no
+/// closed-form packing, emulated route pairs) and K_64 pins the
+/// closed-form + all-direct fast paths.
+nab::graph::digraph frontier_graph(const std::string& label) {
+  if (label == "hypercube_d6") return nab::graph::hypercube(6, 2);
+  if (label == "hypercube_d7") return nab::graph::hypercube(7, 2);
+  return nab::graph::complete(64, 1);
+}
+
+result bench_pack(const std::string& label, bool reference) {
+  const auto g = frontier_graph(label);
+  const auto gamma =
+      static_cast<int>(nab::graph::broadcast_mincut(g, 0));
+  const auto [sec, iters] =
+      reference ? measure_once([&] { nab::graph::pack_arborescences_reference(
+                      g, 0, gamma); })
+                : measure([&] { nab::graph::pack_arborescences(g, 0, gamma); });
+  return {reference ? "pack_arborescences_reference" : "pack_arborescences",
+          label, sec, iters};
+}
+
+result bench_build_routes(const std::string& label, bool reference) {
+  const auto g = frontier_graph(label);
+  const auto body = [&] {
+    if (!reference) {
+      nab::bb::channel_plan::build_routes(g, 1);
+      return;
+    }
+    // The seed's shape: one cold node_disjoint_paths run per emulated pair.
+    for (nab::graph::node_id u = 0; u < g.universe(); ++u)
+      for (nab::graph::node_id v = 0; v < g.universe(); ++v)
+        if (u != v && !g.has_edge(u, v))
+          nab::graph::node_disjoint_paths(g, u, v, 3);
+  };
+  const auto [sec, iters] = reference ? measure_once(body) : measure(body);
+  return {reference ? "build_routes_reference" : "build_routes", label, sec,
+          iters};
+}
+
 result bench_bounds(int n) {
   const auto g = nab::graph::complete(n);
   auto [sec, iters] = measure([&] { nab::core::compute_bounds(g, 0, 1); });
@@ -154,6 +207,16 @@ int main() {
   results.push_back(bench_clean_instance(7, 64, /*pool_memory=*/false));
   for (int n : {4, 5, 7}) results.push_back(bench_instance_under_attack(n));
   for (const result& r : bench_phase_breakdown(7, 64)) results.push_back(r);
+  for (const char* shape : {"hypercube_d6", "hypercube_d7", "k64_complete"})
+    results.push_back(bench_pack(shape, /*reference=*/false));
+  // The d7 pack reference re-runs the from-scratch construction at
+  // minutes-scale; d6 + K_64 document the before numbers.
+  for (const char* shape : {"hypercube_d6", "k64_complete"})
+    results.push_back(bench_pack(shape, /*reference=*/true));
+  for (const char* shape : {"hypercube_d6", "hypercube_d7", "k64_complete"})
+    results.push_back(bench_build_routes(shape, /*reference=*/false));
+  for (const char* shape : {"hypercube_d6", "hypercube_d7"})
+    results.push_back(bench_build_routes(shape, /*reference=*/true));
   for (int n : {4, 5, 6}) results.push_back(bench_bounds(n));
   for (int n : {4, 5, 6}) results.push_back(bench_certify(n));
 

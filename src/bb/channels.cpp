@@ -9,28 +9,101 @@
 
 namespace nab::bb {
 
-channel_plan::route_table channel_plan::build_routes(const graph::digraph& g, int f) {
+std::vector<std::vector<graph::node_id>> route_table::decode(graph::node_id from,
+                                                             graph::node_id to) const {
+  std::vector<std::vector<graph::node_id>> out;
+  for (const path_view p : at(from, to)) out.emplace_back(p.begin(), p.end());
+  return out;
+}
+
+channel_plan::source_block channel_plan::build_routes_for_source(const graph::digraph& g,
+                                                                 int f,
+                                                                 graph::node_id u) {
   NAB_ASSERT(f >= 0, "fault budget must be non-negative");
-  route_table routes(static_cast<std::size_t>(g.universe()) * g.universe());
-  const auto nodes = g.active_nodes();
-  for (graph::node_id u : nodes)
-    for (graph::node_id v : nodes) {
-      if (u == v) continue;
-      auto& route_set = routes[static_cast<std::size_t>(u) * g.universe() + v];
-      if (g.has_edge(u, v)) {
-        route_set = {{u, v}};
-        continue;
-      }
-      // 2f+1 node-disjoint paths; node_disjoint_paths throws if infeasible,
-      // which violates the paper's connectivity precondition.
-      try {
-        route_set = graph::node_disjoint_paths(g, u, v, 2 * f + 1);
-      } catch (const error& e) {
-        throw error("channel_plan: pair (" + std::to_string(u) + "," +
-                    std::to_string(v) + ") lacks 2f+1 disjoint paths: " + e.what());
-      }
+  const int n = g.universe();
+  source_block block;
+  block.path_count.assign(static_cast<std::size_t>(n), 0);
+  if (!g.is_active(u)) return block;
+
+  // One residual network per source, warm-started across its n-1 sinks.
+  graph::disjoint_path_finder finder(g);
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (v == u || !g.is_active(v)) continue;
+    if (g.has_edge(u, v)) {
+      block.pool.push_back(u);
+      block.pool.push_back(v);
+      block.path_end.push_back(static_cast<std::uint32_t>(block.pool.size()));
+      block.path_count[static_cast<std::size_t>(v)] = 1;
+      ++block.pairs;
+      continue;
     }
-  return routes;
+    // 2f+1 node-disjoint paths; infeasibility violates the paper's
+    // connectivity precondition and is reported per pair.
+    std::vector<std::vector<graph::node_id>> paths;
+    try {
+      paths = finder.find(u, v, 2 * f + 1);
+    } catch (const error& e) {
+      block.error = "channel_plan: pair (" + std::to_string(u) + "," +
+                    std::to_string(v) + ") lacks 2f+1 disjoint paths: " + e.what();
+      return block;
+    }
+    for (const auto& p : paths) {
+      block.pool.insert(block.pool.end(), p.begin(), p.end());
+      block.path_end.push_back(static_cast<std::uint32_t>(block.pool.size()));
+    }
+    block.path_count[static_cast<std::size_t>(v)] =
+        static_cast<std::uint32_t>(paths.size());
+    ++block.pairs;
+  }
+  block.flow_augmentations = finder.augmentations();
+  return block;
+}
+
+channel_plan::route_table channel_plan::assemble(const graph::digraph& g,
+                                                 std::vector<source_block> blocks) {
+  const int n = g.universe();
+  NAB_ASSERT(blocks.size() == static_cast<std::size_t>(n),
+             "assemble needs one block per source");
+  for (const auto& block : blocks)
+    if (!block.error.empty()) throw error(block.error);
+
+  route_table out;
+  out.n_ = n;
+  std::size_t pool_total = 0, paths_total = 0;
+  for (const auto& block : blocks) {
+    pool_total += block.pool.size();
+    paths_total += block.path_end.size();
+  }
+  out.pool_.reserve(pool_total);
+  out.path_end_.reserve(paths_total);
+  out.pair_end_.reserve(static_cast<std::size_t>(n) * n);
+
+  std::uint32_t paths_so_far = 0;
+  for (const auto& block : blocks) {
+    const std::uint32_t pool_base = static_cast<std::uint32_t>(out.pool_.size());
+    out.pool_.insert(out.pool_.end(), block.pool.begin(), block.pool.end());
+    for (const std::uint32_t e : block.path_end) out.path_end_.push_back(pool_base + e);
+    for (int v = 0; v < n; ++v) {
+      paths_so_far += block.path_count[static_cast<std::size_t>(v)];
+      out.pair_end_.push_back(paths_so_far);
+    }
+    out.stats_.pairs += block.pairs;
+    out.stats_.flow_augmentations += block.flow_augmentations;
+  }
+  return out;
+}
+
+channel_plan::route_table channel_plan::build_routes(const graph::digraph& g, int f) {
+  const int n = g.universe();
+  std::vector<source_block> blocks;
+  blocks.reserve(static_cast<std::size_t>(n));
+  for (graph::node_id u = 0; u < n; ++u) {
+    blocks.push_back(build_routes_for_source(g, f, u));
+    // Surface the failure immediately (same first-failing-pair error as the
+    // per-pair reference builder).
+    if (!blocks.back().error.empty()) throw error(blocks.back().error);
+  }
+  return assemble(g, std::move(blocks));
 }
 
 channel_plan::channel_plan(const graph::digraph& g, int f)
@@ -43,15 +116,13 @@ channel_plan::channel_plan(const graph::digraph& g, int f,
       f_(f),
       routes_(std::move(routes)),
       inboxes_(static_cast<std::size_t>(g.universe())) {
-  NAB_ASSERT(routes_ != nullptr &&
-                 routes_->size() ==
-                     static_cast<std::size_t>(g.universe()) * g.universe(),
+  NAB_ASSERT(routes_ != nullptr && routes_->universe() == g.universe(),
              "channel_plan route table does not match the topology");
 }
 
 void channel_plan::unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
                            sim::payload payload, std::uint64_t bits) {
-  NAB_ASSERT(!(*routes_)[pair_index(from, to)].empty(),
+  NAB_ASSERT(!routes_->at(from, to).empty(),
              "unicast between nodes with no planned route");
   queued_.push_back({from, to, tag, std::move(payload), bits});
 }
@@ -61,18 +132,19 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
   for (auto& box : inboxes_) box.clear();
 
   for (sim::message& m : queued_) {
-    const auto& route_set = (*routes_)[pair_index(m.from, m.to)];
+    const route_table::route_view route_set = routes_->at(m.from, m.to);
     // Fast path: a single direct link has no interior relays to tamper and
     // is its own majority — charge it and deliver the payload by move.
-    if (route_set.size() == 1 && route_set.front().size() == 2) {
+    if (route_set.size() == 1 && route_set[0].size() == 2) {
       net.charge(m.from, m.to, m.bits, m.tag);
       inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
       continue;
     }
     // Charge every link of every route, noting which paths a corrupt
-    // interior relay could have tampered.
+    // interior relay could have tampered. Paths are contiguous node spans in
+    // the flat pool, so this is a linear walk.
     bool any_compromised = false;
-    for (const auto& path : route_set) {
+    for (const route_table::path_view path : route_set) {
       for (std::size_t i = 0; i + 1 < path.size(); ++i)
         net.charge(path[i], path[i + 1], m.bits, m.tag);
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
@@ -90,14 +162,15 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
     // receiver applies the same deterministic rule.
     std::vector<sim::payload> copies;
     copies.reserve(route_set.size());
-    for (const auto& path : route_set) {
+    for (const route_table::path_view path : route_set) {
       bool compromised_relay = false;
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         if (faults.is_corrupt(path[i])) compromised_relay = true;
       sim::payload copy = m.payload;
       if (compromised_relay) {
         sim::scoped_run_arena suspend_pooling(nullptr);  // stateful strategies
-        if (auto forged = adv->tamper(path, m)) copy = std::move(*forged);
+        const std::vector<graph::node_id> path_nodes(path.begin(), path.end());
+        if (auto forged = adv->tamper(path_nodes, m)) copy = std::move(*forged);
       }
       copies.push_back(std::move(copy));
     }
@@ -125,11 +198,6 @@ const sim::message_list& channel_plan::inbox(graph::node_id v) const {
 void channel_plan::reclaim_round_storage() {
   sim::message_list().swap(queued_);
   for (auto& box : inboxes_) sim::message_list().swap(box);
-}
-
-const std::vector<std::vector<graph::node_id>>& channel_plan::routes(
-    graph::node_id from, graph::node_id to) const {
-  return (*routes_)[pair_index(from, to)];
 }
 
 }  // namespace nab::bb

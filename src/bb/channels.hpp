@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -11,6 +13,101 @@
 #include "sim/network.hpp"
 
 namespace nab::bb {
+
+/// Flat offset-indexed route storage: every path of every ordered pair lives
+/// in one contiguous node_id pool, with two cumulative offset arrays on top
+/// (per-path end offsets into the pool; per-pair end indices into the path
+/// list). end_round's per-link charging then walks contiguous memory instead
+/// of chasing a vector<vector<vector>> pointer soup, and a sweep-wide shared
+/// table is three allocations instead of ~n^2 * (2f+2).
+///
+/// Pairs are stored row-major (from * n + to), so all routes out of one
+/// source form a contiguous block — which is also the unit of parallel
+/// construction (build_routes_for_source / assemble).
+class route_table {
+ public:
+  struct build_stats {
+    std::uint64_t pairs = 0;               ///< ordered pairs routed (incl. direct)
+    std::uint64_t flow_augmentations = 0;  ///< augmenting paths for emulated pairs
+    bool operator==(const build_stats&) const = default;
+  };
+
+  /// One path: a contiguous node span (source first, destination last).
+  class path_view {
+   public:
+    path_view(const graph::node_id* data, std::size_t size) : data_(data), size_(size) {}
+    std::size_t size() const { return size_; }
+    graph::node_id operator[](std::size_t i) const { return data_[i]; }
+    graph::node_id front() const { return data_[0]; }
+    graph::node_id back() const { return data_[size_ - 1]; }
+    const graph::node_id* begin() const { return data_; }
+    const graph::node_id* end() const { return data_ + size_; }
+    friend bool operator==(const path_view& a, const std::vector<graph::node_id>& b) {
+      return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+
+   private:
+    const graph::node_id* data_;
+    std::size_t size_;
+  };
+
+  /// The routes of one ordered pair: one single-link route or 2f+1
+  /// node-disjoint paths (empty for unrouted pairs).
+  class route_view {
+   public:
+    route_view(const route_table* t, std::uint32_t first, std::uint32_t last)
+        : t_(t), first_(first), last_(last) {}
+    std::size_t size() const { return last_ - first_; }
+    bool empty() const { return last_ == first_; }
+    path_view operator[](std::size_t i) const { return t_->path(first_ + static_cast<std::uint32_t>(i)); }
+
+    struct iterator {
+      const route_table* t;
+      std::uint32_t p;
+      path_view operator*() const { return t->path(p); }
+      iterator& operator++() { ++p; return *this; }
+      bool operator!=(const iterator& o) const { return p != o.p; }
+    };
+    iterator begin() const { return {t_, first_}; }
+    iterator end() const { return {t_, last_}; }
+
+   private:
+    const route_table* t_;
+    std::uint32_t first_, last_;
+  };
+
+  route_table() = default;
+
+  /// Routes of the ordered pair (from, to).
+  route_view at(graph::node_id from, graph::node_id to) const {
+    const std::size_t idx = static_cast<std::size_t>(from) * n_ + to;
+    return {this, idx == 0 ? 0 : pair_end_[idx - 1], pair_end_[idx]};
+  }
+
+  int universe() const { return n_; }
+  const build_stats& stats() const { return stats_; }
+
+  /// Expands one pair back into the nested representation (tests compare
+  /// against the per-pair reference builder).
+  std::vector<std::vector<graph::node_id>> decode(graph::node_id from,
+                                                  graph::node_id to) const;
+
+  bool operator==(const route_table&) const = default;
+
+ private:
+  friend class channel_plan;
+
+  path_view path(std::uint32_t p) const {
+    const std::uint32_t b = p == 0 ? 0 : path_end_[p - 1];
+    return {pool_.data() + b, path_end_[p] - b};
+  }
+
+  int n_ = 0;
+  std::vector<graph::node_id> pool_;       ///< all path nodes, concatenated
+  std::vector<std::uint32_t> path_end_;    ///< cumulative end offset per path
+  std::vector<std::uint32_t> pair_end_;    ///< cumulative end path index per pair
+  build_stats stats_;
+};
 
 /// Hook allowing corrupt *relays* to tamper with copies forwarded along
 /// emulated multi-hop paths. The default (returning nullopt) relays
@@ -45,9 +142,8 @@ class relay_adversary {
 /// (cut-through); see DESIGN.md §2.
 class channel_plan {
  public:
-  /// routes[from * n + to]: one single-link route or 2f+1 node-disjoint
-  /// paths, each a full node sequence.
-  using route_table = std::vector<std::vector<std::vector<graph::node_id>>>;
+  /// The flat pooled route storage (see route_table above).
+  using route_table = bb::route_table;
 
   /// Builds routes for every ordered pair of active nodes. Throws nab::error
   /// if some pair admits neither a direct link nor 2f+1 disjoint paths.
@@ -60,8 +156,30 @@ class channel_plan {
   channel_plan(const graph::digraph& g, int f,
                std::shared_ptr<const route_table> routes);
 
-  /// The route-construction half of the constructor, exposed for caching.
+  /// The route-construction half of the constructor, exposed for caching:
+  /// one warm-started disjoint-path finder per source, assembled row by row.
   static route_table build_routes(const graph::digraph& g, int f);
+
+  /// One source's row of the table, built on its own warm-started residual
+  /// network — the unit of deterministic parallel construction. `error` is
+  /// set (not thrown) when a pair lacks 2f+1 disjoint paths, so parallel
+  /// builders can surface the smallest-source failure deterministically.
+  struct source_block {
+    std::vector<graph::node_id> pool;
+    std::vector<std::uint32_t> path_end;  ///< cumulative, relative to pool
+    std::vector<std::uint32_t> path_count;  ///< paths per destination (size n)
+    std::uint64_t pairs = 0;
+    std::uint64_t flow_augmentations = 0;
+    std::string error;  ///< empty on success
+  };
+  static source_block build_routes_for_source(const graph::digraph& g, int f,
+                                              graph::node_id u);
+
+  /// Concatenates per-source blocks (ascending source order) into one flat
+  /// table; throws the smallest-source block error if any. `blocks` must
+  /// have exactly g.universe() entries.
+  static route_table assemble(const graph::digraph& g,
+                              std::vector<source_block> blocks);
 
   /// Queues a logical unicast for the current round.
   void unicast(graph::node_id from, graph::node_id to, std::uint64_t tag,
@@ -83,8 +201,9 @@ class channel_plan {
 
   /// The routes used for the ordered pair (from, to): one single-link route
   /// or 2f+1 node-disjoint paths.
-  const std::vector<std::vector<graph::node_id>>& routes(graph::node_id from,
-                                                         graph::node_id to) const;
+  route_table::route_view routes(graph::node_id from, graph::node_id to) const {
+    return routes_->at(from, to);
+  }
 
   int fault_budget() const { return f_; }
 
@@ -97,10 +216,6 @@ class channel_plan {
   std::shared_ptr<const route_table> routes_;  // immutable, possibly shared
   sim::message_list queued_;
   std::vector<sim::message_list> inboxes_;
-
-  std::size_t pair_index(graph::node_id u, graph::node_id v) const {
-    return static_cast<std::size_t>(u) * topo_.universe() + v;
-  }
 };
 
 }  // namespace nab::bb

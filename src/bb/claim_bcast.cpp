@@ -92,6 +92,56 @@ claim_digest claim_digest_of(const value& payload, std::uint64_t seed) {
   return d;
 }
 
+std::vector<claim_digest> claim_digests_of(const std::vector<const value*>& payloads,
+                                           std::uint64_t seed) {
+  std::vector<claim_digest> out(payloads.size());
+  // Same-length payloads advance in lockstep: per absorbed limb, each point's
+  // accumulator row is one gf2_16::scale pass (multiply the whole row by the
+  // evaluation point) followed by a limb xor. A group of one keeps the
+  // scalar table walk — the row pass only pays off with real width.
+  std::vector<std::size_t> order(payloads.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return payloads[a]->size() < payloads[b]->size();
+  });
+  const digest_tables& t = digests_for(seed);
+  std::array<std::vector<std::uint16_t>, 4> acc;
+  std::vector<std::uint16_t> limbs;
+  std::size_t lo = 0;
+  while (lo < order.size()) {
+    const std::size_t m = payloads[order[lo]]->size();
+    std::size_t hi = lo + 1;
+    while (hi < order.size() && payloads[order[hi]]->size() == m) ++hi;
+    const std::size_t rows = hi - lo;
+    if (rows == 1) {
+      out[order[lo]] = claim_digest_of(*payloads[order[lo]], seed);
+      lo = hi;
+      continue;
+    }
+    for (auto& row : acc) row.assign(rows, 1);
+    limbs.resize(rows);
+    for (std::size_t j = 0; j <= m; ++j) {
+      for (int limb = 0; limb < 4; ++limb) {
+        for (std::size_t i = 0; i < rows; ++i) {
+          const value& p = *payloads[order[lo + i]];
+          const std::uint64_t word =
+              j == 0 ? static_cast<std::uint64_t>(m) : p[j - 1];
+          limbs[i] = static_cast<std::uint16_t>(word >> (16 * limb));
+        }
+        for (std::size_t k = 0; k < 4; ++k) {
+          gf::gf2_16::scale(acc[k].data(), t.points[k], rows);
+          for (std::size_t i = 0; i < rows; ++i)
+            acc[k][i] = static_cast<std::uint16_t>(acc[k][i] ^ limbs[i]);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t k = 0; k < 4; ++k) out[order[lo + i]].words[k] = acc[k][i];
+    lo = hi;
+  }
+  return out;
+}
+
 claim_backend resolve_claim_backend(claim_backend requested,
                                     std::size_t participants, int f) {
   if (requested != claim_backend::auto_select) return requested;
@@ -470,21 +520,34 @@ claim_outcome broadcast_claims_collapsed(
   }
   batches.flush(channels, claim_traffic_tag);
   channels.end_round(net, faults, relay_adv);
-  for (graph::node_id r : participants) {
-    for (const sim::message& m : channels.inbox(r)) {
-      std::size_t pos = 0, q = 0;
-      std::uint64_t dg = 0;
-      value v;
-      while (next_propose_item(m.payload, pos, q, dg, v)) {
-        if (q >= q_count || m.from != instances[q].source) continue;
-        collapsed_slot& s = slot(r, q);
-        if (s.announced) continue;  // first proposal wins
-        s.announced = dg;
-        s.direct = std::move(v);
-        s.has_direct = true;
-        s.direct_digest = claim_digest_of(s.direct, digest_seed).packed();
+  {
+    // Absorb every accepted proposal first, then digest the whole round in
+    // one batch: each accepted slot is digested exactly once either way, so
+    // the batch only widens the rows the gf2_16 kernels see.
+    std::vector<collapsed_slot*> filled;
+    for (graph::node_id r : participants) {
+      for (const sim::message& m : channels.inbox(r)) {
+        std::size_t pos = 0, q = 0;
+        std::uint64_t dg = 0;
+        value v;
+        while (next_propose_item(m.payload, pos, q, dg, v)) {
+          if (q >= q_count || m.from != instances[q].source) continue;
+          collapsed_slot& s = slot(r, q);
+          if (s.announced) continue;  // first proposal wins
+          s.announced = dg;
+          s.direct = std::move(v);
+          s.has_direct = true;
+          filled.push_back(&s);
+        }
       }
     }
+    std::vector<const value*> transcripts;
+    transcripts.reserve(filled.size());
+    for (const collapsed_slot* s : filled) transcripts.push_back(&s->direct);
+    const std::vector<claim_digest> digests =
+        claim_digests_of(transcripts, digest_seed);
+    for (std::size_t i = 0; i < filled.size(); ++i)
+      filled[i]->direct_digest = digests[i].packed();
   }
   propose_span.close(net.elapsed());
 
@@ -700,20 +763,42 @@ claim_outcome broadcast_claims_collapsed(
   }
   batches.flush(channels, claim_traffic_tag);
   channels.end_round(net, faults, relay_adv);
-  for (graph::node_id r : participants) {
-    for (const sim::message& m : channels.inbox(r)) {
-      std::size_t pos = 0, q = 0;
-      value v;
-      while (next_payload_item(m.payload, pos, q, v)) {
-        if (q >= q_count) continue;
-        collapsed_slot& s = slot(r, q);
-        if (!s.need_fallback || s.resolved_by_fallback || !s.accepted) continue;
-        if (claim_digest_of(v, digest_seed).packed() != *s.accepted)
-          continue;  // forged
-        s.direct = std::move(v);
-        s.has_direct = true;
-        s.direct_digest = *s.accepted;
-        s.resolved_by_fallback = true;
+  {
+    // Verify per message in one batch (a holder answers each index at most
+    // once per message, so candidates within a message are distinct slots).
+    // Batching wider than a message would digest responses the serial walk
+    // skips once a slot resolves; per-message batches keep the digested set
+    // — and the field-op totals — identical to the one-at-a-time walk.
+    std::vector<collapsed_slot*> candidates;
+    std::vector<value> responses;
+    std::vector<const value*> views;
+    for (graph::node_id r : participants) {
+      for (const sim::message& m : channels.inbox(r)) {
+        candidates.clear();
+        responses.clear();
+        std::size_t pos = 0, q = 0;
+        value v;
+        while (next_payload_item(m.payload, pos, q, v)) {
+          if (q >= q_count) continue;
+          collapsed_slot& s = slot(r, q);
+          if (!s.need_fallback || s.resolved_by_fallback || !s.accepted) continue;
+          candidates.push_back(&s);
+          responses.push_back(std::move(v));
+        }
+        views.clear();
+        views.reserve(responses.size());
+        for (const value& resp : responses) views.push_back(&resp);
+        const std::vector<claim_digest> digests =
+            claim_digests_of(views, digest_seed);
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          collapsed_slot& s = *candidates[i];
+          if (s.resolved_by_fallback) continue;
+          if (digests[i].packed() != *s.accepted) continue;  // forged
+          s.direct = std::move(responses[i]);
+          s.has_direct = true;
+          s.direct_digest = *s.accepted;
+          s.resolved_by_fallback = true;
+        }
       }
     }
   }

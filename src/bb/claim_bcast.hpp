@@ -103,6 +103,17 @@ inline constexpr std::uint64_t claim_digest_bits = 64;
 /// must use the same seed (it is protocol state, like the coding matrices).
 claim_digest claim_digest_of(const value& payload, std::uint64_t seed = 0);
 
+/// Batched form: digests every payload (non-null pointers, one shared seed)
+/// and returns the digests in input order. Payloads of equal length advance
+/// in lockstep — one gf2_16::scale row pass per absorbed limb across the
+/// whole group — so a round's worth of transcripts runs through the
+/// dispatched SIMD row kernels instead of per-payload table walks. Field-op
+/// totals match size() scalar claim_digest_of calls exactly (the work moves
+/// from gf_mul_ops to gf_scale_words limb for limb), so gf_ops-keyed run
+/// signatures are unchanged.
+std::vector<claim_digest> claim_digests_of(const std::vector<const value*>& payloads,
+                                           std::uint64_t seed = 0);
+
 /// One claim to disseminate: `source` wants every participant to decide its
 /// `input` transcript. `value_bits` is the wire size charged per transmitted
 /// copy of the transcript (required > 0).

@@ -1,11 +1,14 @@
 #include "core/omega_cache.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <mutex>
 
 #include "core/certify.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/maxflow.hpp"
 #include "obs/obs.hpp"
+#include "runtime/executor.hpp"
 
 namespace nab::core {
 
@@ -66,27 +69,89 @@ std::shared_ptr<const V> omega_cache::get_or_compute(
     const Compute& compute) {
   obs::count(obs::counter::cache_lookups);
   const std::uint64_t fp = fingerprint_words(key);
-  {
+  const auto probe = [&]() -> std::shared_ptr<const V> {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    if (auto hit = find_entry<V>(tbl, fp, key)) {
-      hits.fetch_add(1, std::memory_order_relaxed);
-      obs::count(obs::counter::cache_hits);
-      return hit;
+    return find_entry<V>(tbl, fp, key);
+  };
+  const auto count_hit = [&](std::shared_ptr<const V> hit) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::counter::cache_hits);
+    return hit;
+  };
+  if (auto hit = probe()) return count_hit(std::move(hit));
+
+  // Single-flight: elect one leader per key; everyone else waits on the
+  // latch and adopts the inserted value as a hit.
+  for (;;) {
+    std::shared_ptr<inflight> slot;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lk(inflight_mu_);
+      auto& entry = inflight_[fp];
+      if (!entry) {
+        entry = std::make_shared<inflight>();
+        leader = true;
+      }
+      slot = entry;
     }
-  }
+    if (!leader) {
+      {
+        std::unique_lock<std::mutex> lk(slot->m);
+        slot->cv.wait(lk, [&] { return slot->done; });
+      }
+      if (auto hit = probe()) return count_hit(std::move(hit));
+      // The leader threw (or this was a fingerprint collision with a
+      // different key): try to become leader ourselves.
+      continue;
+    }
 
-  std::shared_ptr<const V> value;
-  {
-    obs::scoped_span span(fill_span);
-    value = compute();
-  }
+    const auto release = [&] {
+      {
+        std::lock_guard<std::mutex> lk(inflight_mu_);
+        const auto it = inflight_.find(fp);
+        if (it != inflight_.end() && it->second == slot) inflight_.erase(it);
+      }
+      std::lock_guard<std::mutex> lk(slot->m);
+      slot->done = true;
+      slot->cv.notify_all();
+    };
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  misses.fetch_add(1, std::memory_order_relaxed);
-  obs::count(obs::counter::cache_misses);
-  if (auto hit = find_entry<V>(tbl, fp, key)) return hit;
-  tbl[fp].push_back({std::move(key), value});
-  return value;
+    // Leadership won after a previous leader already filled the key: the
+    // re-probe keeps "exactly one fill per key".
+    if (auto hit = probe()) {
+      release();
+      return count_hit(std::move(hit));
+    }
+
+    std::shared_ptr<const V> value;
+    try {
+      obs::scoped_span span(fill_span);
+      value = compute();
+    } catch (...) {
+      release();
+      throw;
+    }
+
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      misses.fetch_add(1, std::memory_order_relaxed);
+      obs::count(obs::counter::cache_misses);
+      if (auto hit = find_entry<V>(tbl, fp, key))
+        value = hit;  // fingerprint-collision twin; adopt it
+      else
+        tbl[fp].push_back({std::move(key), value});
+    }
+    release();
+    return value;
+  }
+}
+
+int omega_cache::fill_jobs(const graph::digraph& g) const {
+  return g.universe() >= 32 ? fill_jobs_.load(std::memory_order_relaxed) : 1;
+}
+
+void omega_cache::set_fill_parallelism(int jobs) {
+  fill_jobs_.store(jobs < 1 ? 1 : jobs, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const omega_analysis> omega_cache::analyze(
@@ -116,15 +181,32 @@ std::shared_ptr<const phase1_plan> omega_cache::plan_for(const graph::digraph& g
   canonical_key key;
   serialize_graph(g, key);
   key.push_back(source);
-  return get_or_compute(plans_, std::move(key), plan_hits_, plan_misses_,
-                        "omega_cache/fill_plan", [&] {
+  auto plan = get_or_compute(plans_, std::move(key), plan_hits_, plan_misses_,
+                             "omega_cache/fill_plan", [&] {
     auto value = std::make_shared<phase1_plan>();
-    value->gamma = graph::broadcast_mincut(g, source);
+    // gamma = min over sinks of MINCUT(source, w): independent per-sink
+    // flows into preallocated slots, so the filling thread may fan them out
+    // (the min is order-independent; byte-identical for any worker count).
+    const auto nodes = g.active_nodes();
+    std::vector<graph::capacity_t> cuts(
+        nodes.size(), std::numeric_limits<graph::capacity_t>::max());
+    runtime::parallel_for_each_index(fill_jobs(g), nodes.size(), [&](std::size_t i) {
+      if (nodes[i] != source) cuts[i] = graph::min_cut_value(g, source, nodes[i]);
+    });
+    value->gamma = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (nodes[i] != source)
+        value->gamma = value->gamma == 0 ? cuts[i] : std::min(value->gamma, cuts[i]);
     if (value->gamma >= 1)
-      value->trees =
-          graph::pack_arborescences(g, source, static_cast<int>(value->gamma));
+      value->trees = graph::pack_arborescences(
+          g, source, static_cast<int>(value->gamma), &value->stats);
     return value;
   });
+  // Charged on every lookup (hit or miss), so the planning counters are a
+  // deterministic property of the run, not of cross-shard fill scheduling.
+  obs::count(obs::counter::plan_safety_checks, plan->stats.safety_checks);
+  obs::count(obs::counter::plan_flow_augmentations, plan->stats.flow_augmentations);
+  return plan;
 }
 
 bool omega_cache::connectivity_at_least(const graph::digraph& g, int k) {
@@ -144,11 +226,26 @@ std::shared_ptr<const bb::channel_plan::route_table> omega_cache::channel_routes
   canonical_key key;
   serialize_graph(g, key);
   key.push_back(f);
-  return get_or_compute(routes_, std::move(key), route_hits_, route_misses_,
-                        "omega_cache/fill_routes", [&] {
+  auto routes = get_or_compute(routes_, std::move(key), route_hits_, route_misses_,
+                               "omega_cache/fill_routes", [&] {
+    // Per-source blocks into preallocated slots: each source's row is built
+    // on its own warm-started residual network, so the filling thread may
+    // fan the sources out. Block errors are captured, not thrown, and
+    // assemble() surfaces the smallest-source failure — identical to the
+    // serial builder's first-failing-pair error for every worker count.
+    const int n = g.universe();
+    std::vector<bb::channel_plan::source_block> blocks(static_cast<std::size_t>(n));
+    runtime::parallel_for_each_index(fill_jobs(g), blocks.size(), [&](std::size_t u) {
+      blocks[u] = bb::channel_plan::build_routes_for_source(
+          g, f, static_cast<graph::node_id>(u));
+    });
     return std::make_shared<const bb::channel_plan::route_table>(
-        bb::channel_plan::build_routes(g, f));
+        bb::channel_plan::assemble(g, std::move(blocks)));
   });
+  obs::count(obs::counter::route_pairs, routes->stats().pairs);
+  obs::count(obs::counter::route_flow_augmentations,
+             routes->stats().flow_augmentations);
+  return routes;
 }
 
 omega_cache_stats omega_cache::stats() const {

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +34,9 @@ struct omega_analysis {
 struct phase1_plan {
   graph::capacity_t gamma = 0;
   std::vector<graph::spanning_tree> trees;
+  /// Deterministic packing work (charged to every run that uses this plan,
+  /// hit or miss, so the counters sit inside the jobs-1-vs-N contract).
+  graph::pack_stats stats;
 };
 
 struct omega_cache_stats {
@@ -95,6 +100,14 @@ class omega_cache {
 
   omega_cache_stats stats() const;
 
+  /// Worker count a filling thread may use for the per-pair/per-tree inner
+  /// loops of plan/route fills (<= 1 disables). Results are order-independent
+  /// writes into preallocated slots, so fills are byte-identical for every
+  /// value; the sweep runner wires its --jobs here. Fills on universes below
+  /// 32 nodes always run inline (thread spawns would dominate, and the clean
+  /// K_7 allocation budget stays untouched).
+  void set_fill_parallelism(int jobs);
+
   /// Drops every entry and zeroes the counters (tests, sweep boundaries).
   void clear();
 
@@ -109,15 +122,26 @@ class omega_cache {
   template <class V>
   using table = std::unordered_map<std::uint64_t, std::vector<bucket_entry<V>>>;
 
-  /// The shared double-checked lookup/compute/insert sequence behind every
-  /// public method: shared-lock probe, unlocked compute on miss (misses on
-  /// distinct keys proceed in parallel; a duplicate racing compute loses
-  /// the insert and adopts the winner's value), unique-lock re-probe +
-  /// insert. Counters are atomics because hits tick under the shared lock.
-  /// `fill_span` names the obs span wrapped around the compute (misses only
-  /// — which run pays one is scheduling-dependent, so fill spans and the
-  /// per-run hit/miss counters belong to the machine set; the lookup count
-  /// is the deterministic companion).
+  /// Per-key in-flight latch: concurrent misses on one key elect a single
+  /// filling thread; the rest block on the latch and adopt the winner's
+  /// value (they count as hits — exactly one fill span and one miss per
+  /// key). A leader that throws wakes the waiters, who re-probe and elect a
+  /// new leader.
+  struct inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  /// The shared lookup/compute/insert sequence behind every public method:
+  /// shared-lock probe, single-flight leader election on miss, unlocked
+  /// compute by the leader only (misses on distinct keys still proceed in
+  /// parallel), unique-lock insert. Counters are atomics because hits tick
+  /// under the shared lock. `fill_span` names the obs span wrapped around
+  /// the compute (misses only — which run pays one is
+  /// scheduling-dependent, so fill spans and the per-run hit/miss counters
+  /// belong to the machine set; the lookup count is the deterministic
+  /// companion).
   template <class V, class Compute>
   std::shared_ptr<const V> get_or_compute(table<V>& tbl, canonical_key key,
                                           std::atomic<std::uint64_t>& hits,
@@ -125,7 +149,13 @@ class omega_cache {
                                           const char* fill_span,
                                           const Compute& compute);
 
+  /// Inner-loop worker count for the current fill (see set_fill_parallelism).
+  int fill_jobs(const graph::digraph& g) const;
+
   mutable std::shared_mutex mu_;
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<inflight>> inflight_;
+  std::atomic<int> fill_jobs_{1};
   table<omega_analysis> analyses_;
   table<phase1_plan> plans_;
   table<int> connectivity_;

@@ -143,4 +143,93 @@ std::vector<std::vector<node_id>> node_disjoint_paths(const digraph& g, node_id 
   return paths;
 }
 
+disjoint_path_finder::disjoint_path_finder(const digraph& g)
+    : n_(g.universe()),
+      terminal_cap_(static_cast<capacity_t>(g.universe()) + 1),
+      net_(2 * g.universe()),
+      internal_idx_(static_cast<std::size_t>(g.universe()), 0),
+      active_(static_cast<std::size_t>(g.universe()), false),
+      flow_adj_(static_cast<std::size_t>(2 * g.universe())) {
+  // Replicate the exact arc insertion order the one-shot path uses: max_flow
+  // iterates split_graph(g, s, t).edges(), which is row-major over split
+  // node ids — row 2v holds the internal arc (2v, 2v+1), row 2v+1 the cross
+  // arcs (2v+1, 2u) for ascending out-neighbors u. Terminal caps are
+  // patched in per find().
+  for (node_id v = 0; v < n_; ++v) {
+    if (!g.is_active(v)) continue;
+    active_[static_cast<std::size_t>(v)] = true;
+    net_.add_arc(2 * v, 2 * v + 1, 1);
+    internal_idx_[static_cast<std::size_t>(v)] =
+        net_.adj[static_cast<std::size_t>(2 * v)].size() - 1;
+    for (node_id u = 0; u < n_; ++u)
+      if (u != v && g.is_active(u) && g.cap(v, u) > 0) net_.add_arc(2 * v + 1, 2 * u, 1);
+  }
+}
+
+std::vector<std::vector<node_id>> disjoint_path_finder::find(node_id s, node_id t, int k) {
+  NAB_ASSERT(k > 0, "node_disjoint_paths requires k > 0");
+  NAB_ASSERT(active_[static_cast<std::size_t>(s)] && active_[static_cast<std::size_t>(t)],
+             "disjoint_path_finder endpoints must be active");
+  // Reset residual capacities: forward arcs back to 1, reverse arcs to 0,
+  // the two terminal internal arcs uncapped (value beyond k is harmless and
+  // matches the one-shot decomposition byte-for-byte).
+  for (auto& row : net_.adj)
+    for (auto& a : row) a.cap = a.forward ? 1 : 0;
+  net_.adj[static_cast<std::size_t>(2 * s)][internal_idx_[static_cast<std::size_t>(s)]].cap =
+      terminal_cap_;
+  net_.adj[static_cast<std::size_t>(2 * t)][internal_idx_[static_cast<std::size_t>(t)]].cap =
+      terminal_cap_;
+
+  const capacity_t value = net_.run(2 * s + 1, 2 * t);
+  if (value < k)
+    throw error("node_disjoint_paths: only " + std::to_string(value) +
+                " disjoint paths exist, need " + std::to_string(k));
+
+  // Flow rows for decomposition: a forward arc's pushed flow is its reverse
+  // arc's residual (reverse arcs start at 0). Arcs within a row are already
+  // in ascending head order, so the walk below scans candidates in the same
+  // ascending split-id order as the one-shot dense-matrix walk.
+  const int sn = 2 * n_;
+  for (int su = 0; su < sn; ++su) {
+    auto& row = flow_adj_[static_cast<std::size_t>(su)];
+    row.clear();
+    for (const auto& a : net_.adj[static_cast<std::size_t>(su)]) {
+      if (!a.forward) continue;
+      const capacity_t pushed = net_.adj[static_cast<std::size_t>(a.to)][a.rev].cap;
+      if (pushed > 0) row.emplace_back(a.to, pushed);
+    }
+  }
+
+  std::vector<std::vector<node_id>> paths;
+  for (int p = 0; p < k; ++p) {
+    std::vector<node_id> path{s};
+    int cur = 2 * s + 1;  // s_out
+    const int goal = 2 * t;
+    int guard = 0;
+    while (cur != goal) {
+      NAB_ASSERT(++guard <= 4 * n_ + 4, "flow decomposition failed to terminate");
+      std::pair<int, capacity_t>* hop = nullptr;
+      for (auto& cand : flow_adj_[static_cast<std::size_t>(cur)]) {
+        if (cand.second > 0) {
+          hop = &cand;
+          break;
+        }
+      }
+      NAB_ASSERT(hop != nullptr, "flow decomposition: dead end");
+      hop->second -= 1;
+      const int next = hop->first;
+      // Arrived at some v_in: record original node, hop to v_out.
+      if (next % 2 == 0) {
+        path.push_back(next / 2);
+        if (next == goal) break;
+        cur = next;  // v_in; the internal arc v_in -> v_out carries the flow
+      } else {
+        cur = next;
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
 }  // namespace nab::graph

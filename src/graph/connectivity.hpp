@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/dinic.hpp"
 
 namespace nab::graph {
 
@@ -30,5 +33,35 @@ bool global_vertex_connectivity_at_least(const digraph& g, int k);
 /// paths, take majority).
 std::vector<std::vector<node_id>> node_disjoint_paths(const digraph& g, node_id s,
                                                       node_id t, int k);
+
+/// Reusable disjoint-path extractor for route-table builds: constructs the
+/// node-split residual network ONCE per graph and re-runs it per (s, t) pair
+/// with a capacity reset instead of rebuilding two dense (2n)^2 matrices per
+/// pair. The split-graph arc order is independent of the terminal pair (only
+/// the two terminal internal-arc capacities differ), and Dinic explores arcs
+/// in insertion order, so `find(s, t, k)` returns byte-identical paths to
+/// `node_disjoint_paths(g, s, t, k)` — pinned by the planner equivalence
+/// tests. Not thread-safe; use one finder per worker.
+class disjoint_path_finder {
+ public:
+  explicit disjoint_path_finder(const digraph& g);
+
+  /// Same contract (and output) as node_disjoint_paths(g, s, t, k): throws
+  /// nab::error when fewer than k internally node-disjoint paths exist.
+  std::vector<std::vector<node_id>> find(node_id s, node_id t, int k);
+
+  /// Augmenting paths pushed across all find() calls on this instance.
+  std::uint64_t augmentations() const { return net_.augmenting_paths; }
+
+ private:
+  int n_;
+  capacity_t terminal_cap_;
+  detail::dinic net_;
+  std::vector<std::size_t> internal_idx_;  // per node v: index of (2v,2v+1) in adj[2v]
+  std::vector<bool> active_;
+  // Scratch for flow decomposition: per split node, (to, amount) rows in
+  // ascending `to` order, rebuilt per find().
+  std::vector<std::vector<std::pair<int, capacity_t>>> flow_adj_;
+};
 
 }  // namespace nab::graph

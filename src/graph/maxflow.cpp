@@ -1,115 +1,13 @@
 #include "graph/maxflow.hpp"
 
 #include <limits>
-#include <queue>
 
+#include "graph/dinic.hpp"
 #include "util/assert.hpp"
 
 namespace nab::graph {
-namespace {
 
-/// Internal residual-graph representation for Dinic's algorithm.
-struct dinic {
-  struct arc {
-    int to;
-    capacity_t cap;     // residual capacity
-    std::size_t rev;    // index of the reverse arc in adj[to]
-    bool forward;       // true for original-direction arcs (flow extraction)
-    node_id orig_from;  // original endpoints for flow extraction
-    node_id orig_to;
-  };
-
-  explicit dinic(int n) : adj(static_cast<std::size_t>(n)), level(n), iter(n) {}
-
-  std::vector<std::vector<arc>> adj;
-  std::vector<int> level;
-  std::vector<std::size_t> iter;
-
-  void add_arc(node_id u, node_id v, capacity_t cap) {
-    adj[static_cast<std::size_t>(u)].push_back(
-        {v, cap, adj[static_cast<std::size_t>(v)].size(), true, u, v});
-    adj[static_cast<std::size_t>(v)].push_back(
-        {u, 0, adj[static_cast<std::size_t>(u)].size() - 1, false, u, v});
-  }
-
-  /// Adds an undirected edge: both arcs get full capacity and act as each
-  /// other's residual.
-  void add_undirected_arc(node_id u, node_id v, capacity_t cap) {
-    adj[static_cast<std::size_t>(u)].push_back(
-        {v, cap, adj[static_cast<std::size_t>(v)].size(), true, u, v});
-    adj[static_cast<std::size_t>(v)].push_back(
-        {u, cap, adj[static_cast<std::size_t>(u)].size() - 1, true, v, u});
-  }
-
-  bool bfs(int s, int t) {
-    std::fill(level.begin(), level.end(), -1);
-    std::queue<int> q;
-    level[static_cast<std::size_t>(s)] = 0;
-    q.push(s);
-    while (!q.empty()) {
-      const int v = q.front();
-      q.pop();
-      for (const arc& a : adj[static_cast<std::size_t>(v)]) {
-        if (a.cap > 0 && level[static_cast<std::size_t>(a.to)] < 0) {
-          level[static_cast<std::size_t>(a.to)] = level[static_cast<std::size_t>(v)] + 1;
-          q.push(a.to);
-        }
-      }
-    }
-    return level[static_cast<std::size_t>(t)] >= 0;
-  }
-
-  capacity_t dfs(int v, int t, capacity_t f) {
-    if (v == t) return f;
-    for (std::size_t& i = iter[static_cast<std::size_t>(v)];
-         i < adj[static_cast<std::size_t>(v)].size(); ++i) {
-      arc& a = adj[static_cast<std::size_t>(v)][i];
-      if (a.cap <= 0 || level[static_cast<std::size_t>(v)] + 1 != level[static_cast<std::size_t>(a.to)])
-        continue;
-      const capacity_t d = dfs(a.to, t, std::min(f, a.cap));
-      if (d > 0) {
-        a.cap -= d;
-        adj[static_cast<std::size_t>(a.to)][a.rev].cap += d;
-        return d;
-      }
-    }
-    return 0;
-  }
-
-  capacity_t run(int s, int t) {
-    capacity_t total = 0;
-    constexpr capacity_t inf = std::numeric_limits<capacity_t>::max();
-    while (bfs(s, t)) {
-      std::fill(iter.begin(), iter.end(), 0);
-      while (true) {
-        const capacity_t f = dfs(s, t, inf);
-        if (f == 0) break;
-        total += f;
-      }
-    }
-    return total;
-  }
-
-  std::vector<bool> residual_reachable(int s) const {
-    std::vector<bool> seen(adj.size(), false);
-    std::queue<int> q;
-    seen[static_cast<std::size_t>(s)] = true;
-    q.push(s);
-    while (!q.empty()) {
-      const int v = q.front();
-      q.pop();
-      for (const arc& a : adj[static_cast<std::size_t>(v)]) {
-        if (a.cap > 0 && !seen[static_cast<std::size_t>(a.to)]) {
-          seen[static_cast<std::size_t>(a.to)] = true;
-          q.push(a.to);
-        }
-      }
-    }
-    return seen;
-  }
-};
-
-}  // namespace
+using detail::dinic;
 
 flow_result max_flow(const digraph& g, node_id s, node_id t) {
   NAB_ASSERT(g.is_active(s) && g.is_active(t), "max_flow endpoints must be active");

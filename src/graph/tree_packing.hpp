@@ -1,11 +1,19 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "util/rng.hpp"
 
 namespace nab::graph {
+
+/// Deterministic work counters for the packing layer (fed into the runtime's
+/// plan_* obs counters; part of the jobs-1-vs-N byte-identity contract).
+struct pack_stats {
+  std::uint64_t safety_checks = 0;       ///< per-sink certificate validations
+  std::uint64_t flow_augmentations = 0;  ///< unit augmenting paths pushed
+};
 
 /// One unit-capacity spanning tree. For arborescences the edges are directed
 /// away from the root; for undirected trees the orientation is meaningless.
@@ -32,17 +40,31 @@ struct spanning_tree {
 /// Throws nab::error if k exceeds broadcast_mincut(g, root) (infeasible by
 /// Edmonds' theorem).
 ///
-/// Strategy: a handful of cheap randomized greedy attempts first (they
-/// almost always succeed on capacity-rich graphs), falling back to the
-/// always-correct Lovász construction below.
-std::vector<spanning_tree> pack_arborescences(const digraph& g, node_id root, int k);
+/// Strategy: feasibility is certified once with per-sink capped max-flows
+/// (the flow certificates are retained), then a handful of cheap randomized
+/// greedy attempts (scarcest-head bias; they succeed on capacity-rich AND
+/// regular sparse graphs), falling back to the always-correct incremental
+/// Lovász construction below, which repairs the retained certificates per
+/// candidate edge instead of recomputing flows from scratch.
+std::vector<spanning_tree> pack_arborescences(const digraph& g, node_id root, int k,
+                                              pack_stats* stats = nullptr);
 
 /// The exact Lovász construction on its own (no greedy fast path). Always
-/// succeeds when k <= broadcast_mincut(g, root); O(k * V * E * V * maxflow)
-/// worst case. Exposed for tests and for callers that need deterministic
-/// tree shapes.
+/// succeeds when k <= broadcast_mincut(g, root). Exposed for tests and for
+/// callers that need deterministic tree shapes. The safe-edge predicate is
+/// evaluated incrementally against retained per-sink flow certificates
+/// (cancel one unit, re-augment at most one path), which is exact by
+/// max-flow/min-cut, so the trees are identical to the from-scratch
+/// construction's.
 std::vector<spanning_tree> pack_arborescences_lovasz(const digraph& g, node_id root,
-                                                     int k);
+                                                     int k, pack_stats* stats = nullptr);
+
+/// The pre-incremental construction (greedy with max-residual bias, Lovász
+/// safety via from-scratch per-sink max-flows). Retained as the reference
+/// implementation for equivalence tests and old-vs-new bench rows; not used
+/// by the protocol.
+std::vector<spanning_tree> pack_arborescences_reference(const digraph& g, node_id root,
+                                                        int k);
 
 /// Greedily packs `k` edge-disjoint undirected spanning trees (weights act
 /// as parallel unit edges), retrying with `attempts` random edge orders.

@@ -18,6 +18,10 @@ const char* counter_name(counter c) {
     case counter::cache_lookups: return "cache_lookups";
     case counter::cache_hits: return "cache_hits";
     case counter::cache_misses: return "cache_misses";
+    case counter::plan_safety_checks: return "plan_safety_checks";
+    case counter::plan_flow_augmentations: return "plan_flow_augmentations";
+    case counter::route_pairs: return "route_pairs";
+    case counter::route_flow_augmentations: return "route_flow_augmentations";
     case counter::claim_echoes: return "claim_echoes";
     case counter::claim_readys: return "claim_readys";
     case counter::claim_fallbacks: return "claim_fallbacks";

@@ -34,6 +34,11 @@ enum class counter : int {
   cache_lookups,        ///< deterministic: queries issued by this run
   cache_hits,           ///< machine: depends on cross-shard scheduling
   cache_misses,         ///< machine: ditto
+  // --- planning layer: arborescence packing + route tables (graph, bb) ---
+  plan_safety_checks,       ///< per-sink certificate validations in the packer
+  plan_flow_augmentations,  ///< unit augmenting paths pushed by the packer
+  route_pairs,              ///< ordered pairs routed into the route table
+  route_flow_augmentations, ///< augmenting paths pushed by the route builder
   // --- Phase-3 claim backends (bb/claim_bcast) ---
   claim_echoes,         ///< echo digests sent on the wire (collapsed)
   claim_readys,         ///< ready digests sent on the wire (collapsed)

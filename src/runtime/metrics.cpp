@@ -230,6 +230,10 @@ json run_record::to_json(bool include_timing) const {
       .set("cert_subgraphs", json::num(cert_subgraphs))
       .set("cert_loo_downdates", json::num(cert_loo_downdates))
       .set("cache_lookups", json::num(cache_lookups))
+      .set("plan_safety_checks", json::num(plan_safety_checks))
+      .set("plan_flow_augmentations", json::num(plan_flow_augmentations))
+      .set("route_pairs", json::num(route_pairs))
+      .set("route_flow_augmentations", json::num(route_flow_augmentations))
       .set("claim_echoes", json::num(claim_echoes))
       .set("claim_readys", json::num(claim_readys))
       .set("margin_quorum_slack", json::num(margin_quorum_slack))

@@ -138,6 +138,10 @@ struct run_record {
   std::uint64_t cert_subgraphs = 0;
   std::uint64_t cert_loo_downdates = 0;  ///< f=1 leave-one-out rank downdates
   std::uint64_t cache_lookups = 0;       ///< deterministic companion of hit/miss
+  std::uint64_t plan_safety_checks = 0;       ///< packer certificate validations
+  std::uint64_t plan_flow_augmentations = 0;  ///< packer unit augmenting paths
+  std::uint64_t route_pairs = 0;              ///< ordered pairs in the route table
+  std::uint64_t route_flow_augmentations = 0; ///< route-builder augmenting paths
   std::uint64_t claim_echoes = 0;
   std::uint64_t claim_readys = 0;
 

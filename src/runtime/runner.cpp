@@ -117,6 +117,10 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.cert_subgraphs = col.value(obs::counter::cert_subgraphs);
     rec.cert_loo_downdates = col.value(obs::counter::cert_loo_downdates);
     rec.cache_lookups = col.value(obs::counter::cache_lookups);
+    rec.plan_safety_checks = col.value(obs::counter::plan_safety_checks);
+    rec.plan_flow_augmentations = col.value(obs::counter::plan_flow_augmentations);
+    rec.route_pairs = col.value(obs::counter::route_pairs);
+    rec.route_flow_augmentations = col.value(obs::counter::route_flow_augmentations);
     rec.claim_echoes = col.value(obs::counter::claim_echoes);
     rec.claim_readys = col.value(obs::counter::claim_readys);
     rec.margin_quorum_slack = col.gauge_value(obs::gauge::quorum_slack);
@@ -269,6 +273,9 @@ std::vector<run_record> run_sweep(
     bool capture_spans) {
   std::vector<run_record> records(sweep.size());
   if (run_wall_seconds != nullptr) run_wall_seconds->assign(sweep.size(), 0.0);
+  // Let cache fills fan out their per-sink/per-source inner loops up to the
+  // sweep's own worker budget (results are worker-count-invariant).
+  core::omega_cache::instance().set_fill_parallelism(jobs);
   std::mutex done_mu;
   parallel_for_each_index(jobs, sweep.size(), [&](std::size_t i) {
     const auto t0 = std::chrono::steady_clock::now();

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace nab::bb {
 namespace {
@@ -122,6 +125,61 @@ TEST(Channels, TamperWinsOnlyWithMajorityOfPaths) {
   plan.end_round(net, faults, &adv);
   ASSERT_EQ(plan.inbox(3).size(), 1u);
   EXPECT_EQ(plan.inbox(3)[0].payload, (sim::payload{666}));
+}
+
+TEST(Channels, FlatRouteTableMatchesPerPairReference) {
+  // The flat offset-indexed route table must decode, pair for pair, to
+  // exactly the path sets the seed's per-pair builder produced: a direct
+  // link is the single two-node path, and every emulated pair carries the
+  // 2f+1 node-disjoint paths of graph::node_disjoint_paths (the retained
+  // per-pair reference the warm-started finder must replicate byte for
+  // byte).
+  rng rand(99);
+  const std::vector<graph::digraph> graphs = {
+      graph::paper_fig1a(),  graph::ring(6, 2),       graph::hypercube(3, 1),
+      graph::hypercube(4, 2), graph::clustered_wan(3, 3, 2, 1),
+      graph::erdos_renyi(9, 0.6, 1, 2, rand)};
+  for (const graph::digraph& g : graphs) {
+    for (int f : {0, 1}) {
+      if (!graph::global_vertex_connectivity_at_least(g, 2 * f + 1)) continue;
+      const auto table = channel_plan::build_routes(g, f);
+      std::uint64_t pairs = 0;
+      for (graph::node_id u = 0; u < g.universe(); ++u)
+        for (graph::node_id v = 0; v < g.universe(); ++v) {
+          if (u == v || !g.is_active(u) || !g.is_active(v)) {
+            EXPECT_TRUE(table.at(u, v).empty());
+            continue;
+          }
+          ++pairs;
+          const auto got = table.decode(u, v);
+          if (g.has_edge(u, v)) {
+            ASSERT_EQ(got.size(), 1u);
+            EXPECT_EQ(got[0], (std::vector<graph::node_id>{u, v}));
+          } else {
+            EXPECT_EQ(got, graph::node_disjoint_paths(g, u, v, 2 * f + 1));
+          }
+        }
+      EXPECT_EQ(table.stats().pairs, pairs);
+    }
+  }
+}
+
+TEST(Channels, WarmFinderMatchesColdReferencePerPair) {
+  // One warm-started residual network serving many sinks must return the
+  // same paths as a cold per-pair computation.
+  rng rand(7);
+  const graph::digraph g = graph::erdos_renyi(10, 0.5, 1, 2, rand);
+  for (int k : {1, 3}) {
+    if (!graph::global_vertex_connectivity_at_least(g, k)) continue;
+    for (graph::node_id u = 0; u < g.universe(); ++u) {
+      graph::disjoint_path_finder finder(g);
+      for (graph::node_id v = 0; v < g.universe(); ++v) {
+        if (u == v) continue;
+        EXPECT_EQ(finder.find(u, v, k), graph::node_disjoint_paths(g, u, v, k))
+            << "pair " << u << "->" << v << " k=" << k;
+      }
+    }
+  }
 }
 
 TEST(Channels, RoundsClearInboxes) {

@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
 #include "core/omega.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/tree_packing.hpp"
+#include "obs/obs.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/scenario.hpp"
 #include "util/rng.hpp"
@@ -155,10 +157,75 @@ TEST(OmegaCache, ConcurrentLookupsAgree) {
     uks[i] = cache.analyze(g, 1, none)->uk;
   });
   for (graph::capacity_t uk : uks) EXPECT_EQ(uk, expected_uk);
-  // Every lookup counts exactly once; racing misses may double-compute (and
-  // both count as misses), but the table still serves one shared value.
+  // Every lookup counts exactly once; single-flight elects one filling
+  // thread per key, so exactly one lookup is a miss.
   const auto stats = cache.stats();
   EXPECT_EQ(stats.analysis_hits + stats.analysis_misses, 32u);
+  EXPECT_EQ(stats.analysis_misses, 1u);
+}
+
+TEST(OmegaCache, ConcurrentMissesAreSingleFlight) {
+  // N threads miss the same plan key at once: the per-key in-flight latch
+  // must elect exactly one filling thread. Everyone shares the one value,
+  // exactly one fill span exists across all collectors, and the waiters
+  // count as hits. (This test is part of the TSan concurrency gate.)
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  const graph::digraph g = graph::hypercube(5, 2);
+  constexpr int kThreads = 8;
+  std::vector<obs::collector> collectors(kThreads);
+  std::vector<std::shared_ptr<const phase1_plan>> plans(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&cache, &collectors, &plans, &g, t] {
+      obs::scoped_collector ambient(&collectors[static_cast<std::size_t>(t)]);
+      plans[static_cast<std::size_t>(t)] = cache.plan_for(g, 0);
+    });
+  for (std::thread& th : pool) th.join();
+
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(plans[static_cast<std::size_t>(t)].get(), plans[0].get())
+        << "thread " << t << " must adopt the leader's value";
+  std::size_t fill_spans = 0;
+  for (const obs::collector& c : collectors)
+    for (const obs::span_record& s : c.spans())
+      if (s.name == "omega_cache/fill_plan") ++fill_spans;
+  EXPECT_EQ(fill_spans, 1u) << "exactly one thread may pay the fill";
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, static_cast<std::uint64_t>(kThreads - 1));
+  // The planning counters are charged per lookup (hit or miss), so every
+  // thread observed the same deterministic work numbers.
+  for (const obs::collector& c : collectors) {
+    EXPECT_EQ(c.value(obs::counter::plan_safety_checks),
+              collectors[0].value(obs::counter::plan_safety_checks));
+    EXPECT_GT(c.value(obs::counter::plan_safety_checks), 0u);
+  }
+}
+
+TEST(OmegaCache, FillParallelismIsByteIdentical) {
+  // Parallel per-sink / per-source fills write into preallocated slots, so
+  // plans and route tables must be byte-identical for every worker count.
+  omega_cache& cache = omega_cache::instance();
+  const graph::digraph g = graph::hypercube(5, 2);  // 32 nodes: parallel fills on
+  cache.clear();
+  cache.set_fill_parallelism(1);
+  const auto plan1 = cache.plan_for(g, 0);
+  const auto routes1 = cache.channel_routes_for(g, 1);
+  cache.clear();
+  cache.set_fill_parallelism(4);
+  const auto plan4 = cache.plan_for(g, 0);
+  const auto routes4 = cache.channel_routes_for(g, 1);
+  cache.set_fill_parallelism(1);
+
+  EXPECT_EQ(plan1->gamma, plan4->gamma);
+  ASSERT_EQ(plan1->trees.size(), plan4->trees.size());
+  for (std::size_t t = 0; t < plan1->trees.size(); ++t)
+    EXPECT_EQ(plan1->trees[t].edges, plan4->trees[t].edges);
+  EXPECT_EQ(plan1->stats.safety_checks, plan4->stats.safety_checks);
+  EXPECT_EQ(plan1->stats.flow_augmentations, plan4->stats.flow_augmentations);
+  EXPECT_EQ(*routes1, *routes4);
 }
 
 }  // namespace
