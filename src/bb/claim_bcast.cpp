@@ -764,22 +764,29 @@ claim_outcome broadcast_claims_collapsed(
   batches.flush(channels, claim_traffic_tag);
   channels.end_round(net, faults, relay_adv);
   {
-    // Verify per message in one batch (a holder answers each index at most
-    // once per message, so candidates within a message are distinct slots).
+    // Verify per message in one batch. Protocol-following holders answer
+    // each index at most once per message (requests are deduped above), so
+    // candidates within a message are distinct slots; adversarial payloads
+    // that repeat an index are deduped here — first occurrence wins — so the
+    // digested set is a deterministic function of the message contents.
     // Batching wider than a message would digest responses the serial walk
     // skips once a slot resolves; per-message batches keep the digested set
-    // — and the field-op totals — identical to the one-at-a-time walk.
+    // — and the field-op totals — identical to the one-at-a-time walk on
+    // every duplicate-free (i.e. protocol-reachable) message.
     std::vector<collapsed_slot*> candidates;
     std::vector<value> responses;
     std::vector<const value*> views;
+    std::vector<bool> msg_seen(q_count, false);
     for (graph::node_id r : participants) {
       for (const sim::message& m : channels.inbox(r)) {
         candidates.clear();
         responses.clear();
+        std::fill(msg_seen.begin(), msg_seen.end(), false);
         std::size_t pos = 0, q = 0;
         value v;
         while (next_payload_item(m.payload, pos, q, v)) {
-          if (q >= q_count) continue;
+          if (q >= q_count || msg_seen[q]) continue;
+          msg_seen[q] = true;
           collapsed_slot& s = slot(r, q);
           if (!s.need_fallback || s.resolved_by_fallback || !s.accepted) continue;
           candidates.push_back(&s);

@@ -1,6 +1,7 @@
 #include "core/omega_cache.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <mutex>
 
@@ -81,13 +82,18 @@ std::shared_ptr<const V> omega_cache::get_or_compute(
   if (auto hit = probe()) return count_hit(std::move(hit));
 
   // Single-flight: elect one leader per key; everyone else waits on the
-  // latch and adopts the inserted value as a hit.
+  // latch and adopts the inserted value as a hit. The in-flight map is keyed
+  // on (table, fingerprint) — the table address disambiguates equal
+  // fingerprints across the four caches so unrelated fills never serialize
+  // behind each other's leader.
+  const std::uint64_t inflight_key =
+      mix64(fp ^ static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&tbl)));
   for (;;) {
     std::shared_ptr<inflight> slot;
     bool leader = false;
     {
       std::lock_guard<std::mutex> lk(inflight_mu_);
-      auto& entry = inflight_[fp];
+      auto& entry = inflight_[inflight_key];
       if (!entry) {
         entry = std::make_shared<inflight>();
         leader = true;
@@ -108,7 +114,7 @@ std::shared_ptr<const V> omega_cache::get_or_compute(
     const auto release = [&] {
       {
         std::lock_guard<std::mutex> lk(inflight_mu_);
-        const auto it = inflight_.find(fp);
+        const auto it = inflight_.find(inflight_key);
         if (it != inflight_.end() && it->second == slot) inflight_.erase(it);
       }
       std::lock_guard<std::mutex> lk(slot->m);
@@ -193,10 +199,16 @@ std::shared_ptr<const phase1_plan> omega_cache::plan_for(const graph::digraph& g
     runtime::parallel_for_each_index(fill_jobs(g), nodes.size(), [&](std::size_t i) {
       if (nodes[i] != source) cuts[i] = graph::min_cut_value(g, source, nodes[i]);
     });
-    value->gamma = 0;
+    // Fold like broadcast_mincut: 0 is a genuine min-cut (unreachable sink),
+    // not an "unset" sentinel, so track whether any sink was seen explicitly.
+    graph::capacity_t best = std::numeric_limits<graph::capacity_t>::max();
+    bool any_sink = false;
     for (std::size_t i = 0; i < nodes.size(); ++i)
-      if (nodes[i] != source)
-        value->gamma = value->gamma == 0 ? cuts[i] : std::min(value->gamma, cuts[i]);
+      if (nodes[i] != source) {
+        best = std::min(best, cuts[i]);
+        any_sink = true;
+      }
+    value->gamma = any_sink ? best : 0;
     if (value->gamma >= 1)
       value->trees = graph::pack_arborescences(
           g, source, static_cast<int>(value->gamma), &value->stats);

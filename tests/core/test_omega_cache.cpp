@@ -83,6 +83,23 @@ TEST(OmegaCache, MatchesUncachedPhase1PlanOnEveryRegistryPreset) {
   }
 }
 
+TEST(OmegaCache, UnreachableSinkYieldsGammaZeroTreelessPlan) {
+  // A sink the source cannot reach has min-cut 0, and 0 is a genuine gamma —
+  // not an "unset" sentinel. Regression: folding the per-sink cuts with a
+  // 0-means-unset scheme let a later positive cut overwrite the true 0,
+  // making plan_for attempt (and fail) a k>0 arborescence packing where
+  // broadcast_mincut correctly reports gamma = 0 and a treeless plan.
+  omega_cache& cache = omega_cache::instance();
+  cache.clear();
+  graph::digraph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 0, 2);  // node 2 is active but unreachable from 0
+  ASSERT_EQ(graph::broadcast_mincut(g, 0), 0);
+  const auto plan = cache.plan_for(g, 0);
+  EXPECT_EQ(plan->gamma, 0);
+  EXPECT_TRUE(plan->trees.empty());
+}
+
 TEST(OmegaCache, DisputesArePartOfTheKey) {
   omega_cache& cache = omega_cache::instance();
   cache.clear();
