@@ -126,9 +126,15 @@ int run_hunt_mode(const nab::runtime::fleet_options& opt) {
 
 int run_sweep_mode(const nab::runtime::fleet_options& opt) {
   using namespace nab::runtime;
-  const std::vector<scenario> sweep = select_scenarios(opt.scenarios);
-  std::printf("fleet: %zu runs (%s), %d job%s, seed %llu\n", sweep.size(),
-              opt.scenarios.c_str(), opt.jobs, opt.jobs == 1 ? "" : "s",
+  std::vector<scenario> sweep = select_scenarios(opt.scenarios);
+  // --loss overrides the link-fault axis of every selected scenario but
+  // never their names: the zero-loss byte-identity guard diffs a --loss
+  // zero sweep against a clean one record-for-record.
+  if (!opt.loss.empty())
+    for (scenario& s : sweep) s.loss = opt.loss;
+  std::printf("fleet: %zu runs (%s%s%s), %d job%s, seed %llu\n", sweep.size(),
+              opt.scenarios.c_str(), opt.loss.empty() ? "" : ", loss ",
+              opt.loss.c_str(), opt.jobs, opt.jobs == 1 ? "" : "s",
               static_cast<unsigned long long>(opt.seed));
 
   const auto t0 = std::chrono::steady_clock::now();

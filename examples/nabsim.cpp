@@ -24,6 +24,9 @@
 //   --q Q             instances (default 8)
 //   --words W         16-bit words per input, L = 16 W bits (default 64)
 //   --seed S          RNG seed (default 1)
+//   --loss SPEC       link-fault model: none (default), zero|light|bursty|
+//                     heavy, or p_good,p_bad,p_g2b,p_b2g (Gilbert-Elliott
+//                     erasures + ARQ; run command only)
 //   --tsv             emit per-instance TSV instead of prose
 
 #include <cstdio>
@@ -53,6 +56,7 @@ struct options {
   int q = 8;
   std::size_t words = 64;
   std::uint64_t seed = 1;
+  std::string loss = "none";
   bool tsv = false;
 };
 
@@ -62,7 +66,8 @@ struct options {
                "[--f F] [--source S]\n"
                "              [--corrupt A,B] [--adversary KIND] "
                "[--claim-backend auto|eig|phase_king|collapsed]\n"
-               "              [--q Q] [--words W] [--seed S] [--tsv]\n");
+               "              [--q Q] [--words W] [--seed S] [--tsv]\n"
+               "              [--loss none|zero|light|bursty|heavy|pG,pB,pG2B,pB2G]\n");
   std::exit(2);
 }
 
@@ -101,6 +106,7 @@ options parse(int argc, char** argv) {
     else if (a == "--q") o.q = std::atoi(next());
     else if (a == "--words") o.words = static_cast<std::size_t>(std::atoll(next()));
     else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "--loss") o.loss = next();
     else if (a == "--tsv") o.tsv = true;
     else usage();
   }
@@ -149,6 +155,15 @@ int cmd_run(const options& o) {
   const graph::digraph g = load_graph(o);
   sim::fault_set faults(g.universe(), o.corrupt);
   const auto adv = make_adversary(o);
+  // Ambient link-fault model (validated spec): the session's internal
+  // networks pick it up; must outlive the session, hence declared first.
+  std::unique_ptr<sim::link_fault_model> fault_model;
+  std::unique_ptr<sim::scoped_link_faults> fault_scope;
+  if (o.loss != "none") {
+    fault_model = std::make_unique<sim::link_fault_model>(
+        sim::parse_loss_spec(o.loss), o.seed ^ 0x1055eedULL);
+    fault_scope = std::make_unique<sim::scoped_link_faults>(fault_model.get());
+  }
   core::session s({.g = g,
                    .f = o.f,
                    .source = o.source,

@@ -131,38 +131,63 @@ double channel_plan::end_round(sim::network& net, const sim::fault_set& faults,
                                relay_adversary* adv) {
   for (auto& box : inboxes_) box.clear();
 
+  // Per-path delivery flags, tracked only under an attached fault model so
+  // the clean path stays allocation-free. Hoisted across messages.
+  const bool lossy_net = net.link_faults() != nullptr;
+  std::vector<char> arrived;
+
   for (sim::message& m : queued_) {
     const route_table::route_view route_set = routes_->at(m.from, m.to);
     // Fast path: a single direct link has no interior relays to tamper and
-    // is its own majority — charge it and deliver the payload by move.
+    // is its own majority — transmit it (link-layer ARQ under loss) and
+    // deliver the payload by move. A budget-exhausted copy degrades to the
+    // receiver's missing-message default.
     if (route_set.size() == 1 && route_set[0].size() == 2) {
-      net.charge(m.from, m.to, m.bits, m.tag);
-      inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+      if (net.lossy_transmit(m.from, m.to, m.bits, m.tag))
+        inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
       continue;
     }
-    // Charge every link of every route, noting which paths a corrupt
-    // interior relay could have tampered. Paths are contiguous node spans in
-    // the flat pool, so this is a linear walk.
+    // Transmit every link of every route (each hop runs its own ARQ loop;
+    // a copy survives iff every hop of its path got through, and a dropped
+    // copy never charges the hops past the failure), noting which *arrived*
+    // paths a corrupt interior relay could have tampered. Paths are
+    // contiguous node spans in the flat pool, so this is a linear walk.
     bool any_compromised = false;
+    std::size_t live = 0;
+    arrived.clear();
     for (const route_table::path_view path : route_set) {
+      bool ok = true;
       for (std::size_t i = 0; i + 1 < path.size(); ++i)
-        net.charge(path[i], path[i + 1], m.bits, m.tag);
+        if (!net.lossy_transmit(path[i], path[i + 1], m.bits, m.tag)) {
+          ok = false;
+          break;
+        }
+      if (lossy_net) arrived.push_back(ok ? 1 : 0);
+      if (!ok) continue;
+      ++live;
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         if (faults.is_corrupt(path[i])) any_compromised = true;
     }
-    // With no tamperable relay (or no tampering adversary) every copy is
-    // the queued payload verbatim: the majority is the payload itself, so
-    // deliver it by move without materializing per-route copies.
+    // Every copy erased in transit: the receiver sees nothing and falls
+    // back to its missing-message default (vanishingly rare within budget).
+    if (live == 0) continue;
+    // With no tamperable relay on a surviving path (or no tampering
+    // adversary) every delivered copy is the queued payload verbatim: the
+    // majority is the payload itself, so deliver it by move without
+    // materializing per-route copies.
     if (!any_compromised || adv == nullptr) {
       inboxes_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
       continue;
     }
-    // Compromised: collect one copy per route and majority-resolve. Ties
-    // resolve to the lexicographically smallest payload so every honest
-    // receiver applies the same deterministic rule.
+    // Compromised: collect one copy per surviving route and majority-
+    // resolve. Ties resolve to the lexicographically smallest payload so
+    // every honest receiver applies the same deterministic rule.
     std::vector<sim::payload> copies;
-    copies.reserve(route_set.size());
+    copies.reserve(live);
+    std::size_t path_idx = 0;
     for (const route_table::path_view path : route_set) {
+      const std::size_t idx = path_idx++;
+      if (lossy_net && arrived[idx] == 0) continue;
       bool compromised_relay = false;
       for (std::size_t i = 1; i + 1 < path.size(); ++i)
         if (faults.is_corrupt(path[i])) compromised_relay = true;

@@ -173,6 +173,11 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
         const auto key = std::make_tuple(static_cast<int>(t), e.from, e.to);
         const auto si = sent.find(key);
         const auto ri = rcvd.find(key);
+        // Erasure discrimination: on lossy links a missing receipt claim is
+        // what honest ARQ exhaustion looks like — not evidence. Only present
+        // -but-mismatching content (or a receipt the sender disowns) stays a
+        // tamper dispute.
+        if (ctx.lossy_links && ri == rcvd.end()) continue;
         chunk s = si == sent.end() ? chunk{} : si->second;
         chunk r = ri == rcvd.end() ? chunk{} : ri->second;
         s.resize(chunk_size, 0);
@@ -186,6 +191,10 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
       const auto key = std::make_pair(e.from, e.to);
       const auto si = sent.find(key);
       const auto ri = rcvd.find(key);
+      // Same erasure rule as the tree edges: a receiver with no receipt on a
+      // lossy link is consistent with honest budget exhaustion. A receiver
+      // *with* a receipt the sender disowns, or mismatching content, is not.
+      if (ctx.lossy_links && ri == rcvd.end()) continue;
       const bool both_present = si != sent.end() && ri != rcvd.end();
       if (!both_present || !(si->second == ri->second)) note_dispute(e.from, e.to);
     }
@@ -255,8 +264,15 @@ dispute_outcome run_dispute_control(sim::network& net, bb::channel_plan& channel
         for (const graph::edge& e : gk.edges()) {
           if (e.to != v) continue;
           const auto it = c.p2_received.find({e.from, v});
-          if (it == c.p2_received.end() ||
-              !ctx.coding->check(xv, e.from, v, it->second)) {
+          if (it == c.p2_received.end()) {
+            // Lossy links: the live equality check only verifies receipts
+            // that arrived, so an erased edge contributes nothing to the
+            // honest flag — the replay must skip it the same way.
+            if (ctx.lossy_links) continue;
+            recomputed_flag = true;
+            break;
+          }
+          if (!ctx.coding->check(xv, e.from, v, it->second)) {
             recomputed_flag = true;
             break;
           }

@@ -27,6 +27,13 @@ struct instance_context {
   std::vector<node_claims> truth;
   /// The per-node MISMATCH flags as agreed by the step-2.2 broadcast.
   std::vector<bool> agreed_flags;
+  /// True when the instance ran over links that can erase messages
+  /// (sim::link_fault_model with nonzero loss attached). Dispute control
+  /// then classifies a *missing* receipt claim as erasure — skip, no
+  /// dispute, since honest ARQ exhaustion leaves exactly that signature —
+  /// while *mismatching* content stays tamper (disputed as on clean links).
+  /// False keeps classification byte-identical to the clean simulator.
+  bool lossy_links = false;
 };
 
 /// Result of one execution of dispute control.

@@ -34,10 +34,14 @@ equality_check_result run_equality_check(sim::network& net, const graph::digraph
       NAB_ASSERT(sent.count == honest.count && sent.slices == honest.slices,
                  "adversary must respect the wire format of coded symbols");
     }
-    net.charge(e.from, e.to, sent.bits());
+    // ARQ under lossy links; a budget-exhausted edge leaves no receipt, so
+    // the receiver simply skips that edge in step 2 (erasure, not evidence)
+    // and dispute control sees a missing — not mismatching — claim.
+    const bool delivered = net.lossy_transmit(e.from, e.to, sent.bits());
     result.truth[static_cast<std::size_t>(e.from)].p2_sent[{e.from, e.to}] = sent;
-    result.truth[static_cast<std::size_t>(e.to)].p2_received[{e.from, e.to}] =
-        std::move(sent);
+    if (delivered)
+      result.truth[static_cast<std::size_t>(e.to)].p2_received[{e.from, e.to}] =
+          std::move(sent);
   }
   net.end_step();
 

@@ -112,11 +112,23 @@ phase1_result run_phase1(sim::network& net, const graph::digraph& g,
         forged.resize(have.size(), 0);  // the wire carries exactly L/gamma bits
         send = &forged;
       }
-      net.charge(se.from, se.to, chunk_bits);
+      // Under a lossy link the chunk rides the ARQ loop; when even the retry
+      // budget can't get a copy through, the receiver holds the zero chunk
+      // (missing-message default) and records no receipt — erasure leaves no
+      // claim for dispute control to compare, which is exactly how it stays
+      // distinguishable from tamper.
+      const bool delivered = net.lossy_transmit(se.from, se.to, chunk_bits);
 
       auto& sender_truth = result.truth[static_cast<std::size_t>(se.from)];
-      auto& receiver_truth = result.truth[static_cast<std::size_t>(se.to)];
       sender_truth.p1_sent[{se.tree, se.from, se.to}] = *send;
+      if (!delivered) {
+        // Zero-fill (not empty): assembly is positional, and descendants
+        // forward this default onward as a correctly-sized chunk.
+        holding[static_cast<std::size_t>(se.tree)][static_cast<std::size_t>(se.to)]
+            .assign(shares[static_cast<std::size_t>(se.tree)].size(), 0);
+        continue;
+      }
+      auto& receiver_truth = result.truth[static_cast<std::size_t>(se.to)];
       receiver_truth.p1_received[{se.tree, se.from, se.to}] = *send;
       chunk& dest =
           holding[static_cast<std::size_t>(se.tree)][static_cast<std::size_t>(se.to)];

@@ -295,6 +295,10 @@ instance_report session::run_instance(const std::vector<word>& input,
         ctx.truth[static_cast<std::size_t>(v)] = std::move(merged);
       }
       ctx.agreed_flags = agreed_flags;
+      // Erasure-vs-tamper discrimination follows the network, not a config
+      // bit: active exactly when the attached fault model can actually drop
+      // (an inert zero-loss model changes nothing — the byte-identity guard).
+      ctx.lossy_links = net.lossy();
 
       // auto_select resolves inside broadcast_claims, on the channel plan's
       // participant count — one resolution authority for every caller. The

@@ -25,6 +25,10 @@ const char* counter_name(counter c) {
     case counter::claim_echoes: return "claim_echoes";
     case counter::claim_readys: return "claim_readys";
     case counter::claim_fallbacks: return "claim_fallbacks";
+    case counter::link_drops: return "link_drops";
+    case counter::link_retransmits: return "retransmits";
+    case counter::link_burst_spans: return "burst_spans";
+    case counter::link_retry_exhaustions: return "retry_budget_exhaustions";
     case counter::arena_allocs: return "arena_allocs";
     case counter::arena_pool_hits: return "arena_pool_hits";
     case counter::count_: break;
@@ -37,6 +41,7 @@ const char* gauge_name(gauge g) {
     case gauge::quorum_slack: return "margin_quorum_slack";
     case gauge::hold_surplus: return "margin_hold_surplus";
     case gauge::dispute_headroom: return "margin_dispute_headroom";
+    case gauge::retry_headroom: return "margin_retry_headroom";
     case gauge::count_: break;
   }
   return "unknown_gauge";

@@ -43,6 +43,11 @@ enum class counter : int {
   claim_echoes,         ///< echo digests sent on the wire (collapsed)
   claim_readys,         ///< ready digests sent on the wire (collapsed)
   claim_fallbacks,      ///< retrieval fallbacks (mirrors dc1_fallbacks)
+  // --- link-fault layer (sim/link_faults + network ARQ) ---
+  link_drops,             ///< transmissions erased by a Gilbert-Elliott chain
+  link_retransmits,       ///< ARQ retransmissions honest senders paid
+  link_burst_spans,       ///< good -> bad chain transitions (burst onsets)
+  link_retry_exhaustions, ///< messages that ran out of retry budget
   // --- run arena (sim/run_arena; machine set) ---
   arena_allocs,         ///< arena allocations served during the run
   arena_pool_hits,      ///< of which from a free list
@@ -68,6 +73,10 @@ enum class gauge : int {
   /// f(f+1) minus dispute phases actually run: the Phase-3 dispute bound's
   /// remaining budget (set by the runtime, not instrumented code).
   dispute_headroom,
+  /// min over loss-affected messages of (retry budget - retries needed):
+  /// how close the ARQ layer came to exhausting a retry budget and
+  /// degrading an honest message to the missing-message default.
+  retry_headroom,
   count_
 };
 

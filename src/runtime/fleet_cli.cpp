@@ -1,5 +1,6 @@
 #include "runtime/fleet_cli.hpp"
 
+#include "sim/link_faults.hpp"
 #include "util/error.hpp"
 
 namespace nab::runtime {
@@ -8,6 +9,7 @@ std::string fleet_usage() {
   return
       "usage: fleet [--list] [--scenario NAMES|all] [--jobs N] [--seed S]\n"
       "             [--json FILE] [--trace FILE] [--timeline FILE] [--quiet]\n"
+      "             [--loss none|zero|light|bursty|heavy|pG,pB,pG2B,pB2G]\n"
       "       fleet --hunt [--hunt-families NAMES] [--budget N] [--population N]\n"
       "             [--hunt-words N] [--hunt-instances N] [--hunt-corpus FILE]\n"
       "             [--jobs N] [--seed S] [--quiet]\n";
@@ -61,6 +63,11 @@ fleet_options parse_fleet_args(const std::vector<std::string>& args) {
       opt.trace_path = next();
     } else if (a == "--timeline") {
       opt.timeline_path = next();
+    } else if (a == "--loss") {
+      opt.loss = next();
+      // Reject unknown/malformed specs at the CLI boundary, naming them;
+      // "none" (strip loss) attaches no model and parses nothing.
+      if (opt.loss != "none") sim::parse_loss_spec(opt.loss);
     } else if (a == "--quiet") {
       opt.quiet = true;
     } else if (a == "--hunt") {

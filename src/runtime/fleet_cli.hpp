@@ -24,6 +24,11 @@ struct fleet_options {
   std::string json_path = "BENCH_runtime.json";
   std::string trace_path;      ///< --trace FILE (empty = no traffic capture)
   std::string timeline_path;   ///< --timeline FILE (empty = no span capture)
+  /// --loss SPEC: overrides every selected scenario's link-fault axis (a
+  /// sim::parse_loss_spec preset name or p_good,p_bad,p_g2b,p_b2g tuple;
+  /// "none" strips loss). Empty = keep each scenario's own loss value.
+  /// Validated at parse time — unknown/malformed specs are rejected by name.
+  std::string loss;
   bool quiet = false;
 
   // --- fleet --hunt: coverage-guided adversary search (runtime/hunt.hpp) ---

@@ -202,6 +202,7 @@ json run_record::to_json(bool include_timing) const {
       .set("propagation", json::str(propagation))
       .set("flag_protocol", json::str(flag_protocol))
       .set("claim_backend", json::str(claim_backend))
+      .set("loss", json::str(loss))
       .set("instances", json::num(instances))
       .set("words", json::num(words))
       .set("corrupt", std::move(corrupt_ids))
@@ -236,9 +237,14 @@ json run_record::to_json(bool include_timing) const {
       .set("route_flow_augmentations", json::num(route_flow_augmentations))
       .set("claim_echoes", json::num(claim_echoes))
       .set("claim_readys", json::num(claim_readys))
+      .set("link_drops", json::num(link_drops))
+      .set("retransmits", json::num(retransmits))
+      .set("burst_spans", json::num(burst_spans))
+      .set("retry_budget_exhaustions", json::num(retry_budget_exhaustions))
       .set("margin_quorum_slack", json::num(margin_quorum_slack))
       .set("margin_hold_surplus", json::num(margin_hold_surplus))
       .set("margin_dispute_headroom", json::num(margin_dispute_headroom))
+      .set("margin_retry_headroom", json::num(margin_retry_headroom))
       .set("pipeline_depth", json::num(pipeline_depth))
       .set("pipeline_speedup", json::num(pipeline_speedup))
       .set("agreement", json::boolean(agreement))

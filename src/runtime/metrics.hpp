@@ -95,6 +95,7 @@ struct run_record {
   std::string propagation;
   std::string flag_protocol;
   std::string claim_backend;      ///< Phase-3 DC1 claim-dissemination engine
+  std::string loss = "none";      ///< link-fault spec ("none" = perfect links)
   int instances = 0;
   std::uint64_t words = 0;
   std::vector<int> corrupt;       ///< corrupt node ids chosen for this run
@@ -144,6 +145,12 @@ struct run_record {
   std::uint64_t route_flow_augmentations = 0; ///< route-builder augmenting paths
   std::uint64_t claim_echoes = 0;
   std::uint64_t claim_readys = 0;
+  // Link-fault layer (sim/link_faults + the network ARQ loop): all zero on
+  // perfect links and under the inert "zero" model.
+  std::uint64_t link_drops = 0;               ///< transmissions erased
+  std::uint64_t retransmits = 0;              ///< ARQ retransmissions paid
+  std::uint64_t burst_spans = 0;              ///< good->bad chain transitions
+  std::uint64_t retry_budget_exhaustions = 0; ///< messages degraded to missing
 
   // Invariant-margin gauges (minimum over the run, -1 = never exercised):
   // how much headroom the run kept before a quorum rule or the paper's
@@ -152,6 +159,10 @@ struct run_record {
   std::int64_t margin_quorum_slack = -1;
   std::int64_t margin_hold_surplus = -1;
   std::int64_t margin_dispute_headroom = -1;
+  /// min over loss-affected messages of (retry budget - retries needed);
+  /// -1 when no message ever needed a retry. 0 means some message exhausted
+  /// its budget — the hunt's future statistical-axis scoring signal.
+  std::int64_t margin_retry_headroom = -1;
 
   /// Machine-set timing data (excluded from operator== — see run_timing).
   run_timing timing;

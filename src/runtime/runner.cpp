@@ -11,6 +11,7 @@
 #include "obs/obs.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/hunt.hpp"
+#include "sim/link_faults.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
 
@@ -85,6 +86,21 @@ run_record execute_scenario(const scenario& s, int run_index,
   rec.claim_backend = to_string(s.claim_backend);
   rec.instances = s.instances;
   rec.words = s.words;
+  rec.loss = s.loss;
+
+  // Link-fault model: built per run (its chains are run state), seeded from
+  // the run seed under its own salt, and installed ambiently so every
+  // network the session constructs on this thread picks it up — drops are a
+  // pure function of (seed, link, transmission index), bit-identical for
+  // any --jobs. "none" attaches nothing; "zero" attaches an inert model
+  // (the byte-identity guard).
+  std::optional<sim::link_fault_model> fault_model;
+  std::optional<sim::scoped_link_faults> fault_scope;
+  if (s.loss != "none") {
+    fault_model.emplace(sim::parse_loss_spec(s.loss),
+                        splitmix64(run_seed ^ 0x1055eedULL));
+    fault_scope.emplace(&*fault_model);
+  }
 
   // The trace is thread-confined (this run only) and reduced into the
   // record's traffic matrix before return; every sim::network the session
@@ -123,8 +139,13 @@ run_record execute_scenario(const scenario& s, int run_index,
     rec.route_flow_augmentations = col.value(obs::counter::route_flow_augmentations);
     rec.claim_echoes = col.value(obs::counter::claim_echoes);
     rec.claim_readys = col.value(obs::counter::claim_readys);
+    rec.link_drops = col.value(obs::counter::link_drops);
+    rec.retransmits = col.value(obs::counter::link_retransmits);
+    rec.burst_spans = col.value(obs::counter::link_burst_spans);
+    rec.retry_budget_exhaustions = col.value(obs::counter::link_retry_exhaustions);
     rec.margin_quorum_slack = col.gauge_value(obs::gauge::quorum_slack);
     rec.margin_hold_surplus = col.gauge_value(obs::gauge::hold_surplus);
+    rec.margin_retry_headroom = col.gauge_value(obs::gauge::retry_headroom);
     rec.timing.cache_hits = col.value(obs::counter::cache_hits);
     rec.timing.cache_misses = col.value(obs::counter::cache_misses);
     rec.timing.arena_allocs = col.value(obs::counter::arena_allocs);
@@ -147,6 +168,14 @@ run_record execute_scenario(const scenario& s, int run_index,
       throw error("scenario '" + s.name +
                   "': pipelined propagation is fault-free (Appendix D) and "
                   "cannot carry adversary '" + to_string(s.adversary) + "'");
+    // The Appendix-D schedule has no ARQ machinery: a perturbing fault
+    // model would silently null honest chunks. An inert spec ("zero") is
+    // allowed — it is exactly the guard that the attached hook changes
+    // nothing.
+    if (fault_model && !fault_model->params().inert())
+      throw error("scenario '" + s.name +
+                  "': pipelined propagation cannot run over lossy links "
+                  "(loss spec '" + s.loss + "')");
     core::pipeline_config cfg;
     cfg.g = std::move(g);
     cfg.f = s.f;
@@ -252,14 +281,27 @@ run_record execute_scenario(const scenario& s, int run_index,
     if (faults.is_honest(a) && faults.is_honest(b)) rec.dispute_sound = false;
   for (graph::node_id v : run.disputes.convicted())
     if (faults.is_honest(v)) rec.conviction_sound = false;
-  rec.dispute_bound = rec.dispute_phases <= s.f * (s.f + 1);
+  // The paper's f(f+1) bound counts dispute phases that *discover* evidence
+  // (each either finds a new dispute or convicts). Erasures can trip the
+  // mismatch flag without any Byzantine evidence to find, so on lossy runs
+  // barren phases (no new disputes, no new convictions) are excluded from
+  // the bound — the clean computation is kept bit-for-bit otherwise (a
+  // chaos adversary can produce barren phases too, and those records must
+  // not move).
+  int effective_phases = rec.dispute_phases;
+  if (s.loss != "none") {
+    for (const core::instance_report& r : run.reports)
+      if (r.dispute_phase_run && r.new_disputes.empty() && r.newly_convicted.empty())
+        --effective_phases;
+  }
+  rec.dispute_bound = effective_phases <= s.f * (s.f + 1);
   // Dispute-bound headroom is runtime knowledge (the session does not know
   // the paper's f(f+1) budget is the scoring baseline). Like the quorum
   // gauges, it keeps the -1 "never exercised" sentinel on clean runs — an
   // honest run is not "full headroom", it never entered the machinery.
-  if (rec.dispute_phases > 0)
+  if (effective_phases > 0)
     rec.margin_dispute_headroom =
-        static_cast<std::int64_t>(s.f) * (s.f + 1) - rec.dispute_phases;
+        static_cast<std::int64_t>(s.f) * (s.f + 1) - effective_phases;
 
   reduce_trace(rec.nodes);
   harvest_obs();

@@ -108,6 +108,7 @@ std::string axis_suffix(const scenario_family& fam, const scenario& s) {
   // "cb-" disambiguates from the flag-protocol suffix (both axes share the
   // "eig"/"phase_king" value names).
   if (fam.claim_backends.size() > 1) out += "/cb-" + to_string(s.claim_backend);
+  if (fam.losses.size() > 1) out += "/loss-" + s.loss;
   return out;
 }
 
@@ -116,7 +117,7 @@ std::string axis_suffix(const scenario_family& fam, const scenario& s) {
 std::vector<scenario> scenario_family::expand() const {
   NAB_ASSERT(!topologies.empty() && !fault_budgets.empty() && !adversaries.empty() &&
                  !word_counts.empty() && !propagations.empty() &&
-                 !flag_protocols.empty() && !claim_backends.empty(),
+                 !flag_protocols.empty() && !claim_backends.empty() && !losses.empty(),
              "scenario_family with an empty axis");
   std::vector<scenario> out;
   for (const topology_spec& topo : topologies)
@@ -125,23 +126,25 @@ std::vector<scenario> scenario_family::expand() const {
         for (std::uint64_t w : word_counts)
           for (core::propagation_mode prop : propagations)
             for (bb::bb_protocol proto : flag_protocols)
-              for (bb::claim_backend backend : claim_backends) {
-                scenario s;
-                s.family = name;
-                s.topology = topo;
-                s.f = f;
-                s.adversary = adv;
-                s.words = w;
-                s.propagation = prop;
-                s.flag_protocol = proto;
-                s.claim_backend = backend;
-                s.instances = instances;
-                s.rotate_sources = rotate_sources;
-                s.certify_cost_limit = certify_cost_limit;
-                if (adv == adversary_kind::hunted) s.genome = genome;
-                s.name = name + axis_suffix(*this, s);
-                out.push_back(std::move(s));
-              }
+              for (bb::claim_backend backend : claim_backends)
+                for (const std::string& loss : losses) {
+                  scenario s;
+                  s.family = name;
+                  s.topology = topo;
+                  s.f = f;
+                  s.adversary = adv;
+                  s.words = w;
+                  s.propagation = prop;
+                  s.flag_protocol = proto;
+                  s.claim_backend = backend;
+                  s.loss = loss;
+                  s.instances = instances;
+                  s.rotate_sources = rotate_sources;
+                  s.certify_cost_limit = certify_cost_limit;
+                  if (adv == adversary_kind::hunted) s.genome = genome;
+                  s.name = name + axis_suffix(*this, s);
+                  out.push_back(std::move(s));
+                }
   return out;
 }
 
@@ -552,6 +555,58 @@ std::vector<scenario_family> build_registry() {
     reg.push_back(std::move(fam));
   }
 
+  // --- Lossy links: Gilbert-Elliott erasures + ARQ (sim/link_faults). ---
+  // The loss axis composes with topology and adversary: honest runs must
+  // survive bursts with zero disputes (erasure is never Byzantine evidence),
+  // and tampering adversaries must still be convicted under the same loss
+  // process. CI's lossy-smoke job and tests/runtime/test_lossy.cpp pin both.
+  {
+    scenario_family fam;
+    fam.name = "lossy_k7";
+    fam.description =
+        "K_7 f=2 under the bursty Gilbert-Elliott preset: honest runs agree "
+        "with zero disputes despite drops; a phase-1 garbler under the same "
+        "loss process is still convicted (erasure vs tamper discrimination).";
+    fam.topologies = {{.kind = tk::complete, .n = 7, .cap_lo = 1, .cap_hi = 1}};
+    fam.fault_budgets = {2};
+    fam.adversaries = {ak::honest, ak::p1_garble};
+    fam.word_counts = {32};
+    fam.losses = {"bursty"};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "lossy_hypercube";
+    fam.description =
+        "Hypercube d=3 sweeping light vs heavy loss (heavy adds per-link "
+        "time jitter): multi-hop channel routes where every hop runs its own "
+        "link-layer ARQ loop.";
+    fam.topologies = {{.kind = tk::hypercube, .param_a = 3, .cap_lo = 2, .cap_hi = 2}};
+    fam.fault_budgets = {1};
+    fam.adversaries = {ak::honest};
+    fam.word_counts = {32};
+    fam.losses = {"light", "heavy"};
+    fam.instances = 3;
+    reg.push_back(std::move(fam));
+  }
+  {
+    scenario_family fam;
+    fam.name = "lossy_wan";
+    fam.description =
+        "Clustered WAN (3x3) f=1 under bursty loss with a stealth disputer: "
+        "tamper disputes are still discovered and bounded while erasure-"
+        "driven retransmissions ride the same links.";
+    fam.topologies = {{.kind = tk::clustered_wan, .param_a = 3, .param_b = 3,
+                       .cap_lo = 4, .cap_hi = 1}};
+    fam.fault_budgets = {1};
+    fam.adversaries = {ak::honest, ak::stealth};
+    fam.word_counts = {32};
+    fam.losses = {"bursty"};
+    fam.instances = 4;
+    reg.push_back(std::move(fam));
+  }
+
   // --- Replicated-log style rotation: every replica proposes in turn. ---
   {
     scenario_family fam;
@@ -754,6 +809,7 @@ std::map<std::string, std::string> scenario_to_params(const scenario& s) {
   p["certify_cost_limit"] = std::to_string(s.certify_cost_limit);
   p["genome"] = s.genome;
   p["pool_memory"] = s.pool_memory ? "1" : "0";
+  p["loss"] = s.loss;
   return p;
 }
 
@@ -814,6 +870,9 @@ scenario scenario_from_params(const std::map<std::string, std::string>& params) 
   s.genome = genome_it != params.end() ? genome_it->second : "";
   const auto pool_it = params.find("pool_memory");
   s.pool_memory = pool_it == params.end() || pool_it->second == "1";
+  // Absent in pre-loss logs; "none" is the perfect-link default.
+  const auto loss_it = params.find("loss");
+  s.loss = loss_it != params.end() ? loss_it->second : "none";
   return s;
 }
 

@@ -107,6 +107,12 @@ struct scenario {
   /// settings must produce byte-identical records — the determinism tests
   /// sweep this axis; presets leave it on.
   bool pool_memory = true;
+  /// Link-fault process (sim::link_faults): "none" = perfect links (no model
+  /// attached), otherwise a spec sim::parse_loss_spec accepts — a preset
+  /// name ("zero", "light", "bursty", "heavy") or a custom
+  /// "p_good,p_bad,p_g2b,p_b2g" tuple. Stored as the verbatim spec string
+  /// so scenario_to_params round-trips exactly.
+  std::string loss = "none";
 
   bool operator==(const scenario&) const = default;
 };
@@ -127,6 +133,8 @@ struct scenario_family {
   std::vector<bb::bb_protocol> flag_protocols = {bb::bb_protocol::eig};
   /// The claim-backends axis: which DC1 engines the family sweeps.
   std::vector<bb::claim_backend> claim_backends = {bb::claim_backend::eig};
+  /// The loss axis: link-fault specs the family sweeps ("none" = clean).
+  std::vector<std::string> losses = {"none"};
   int instances = 4;
   bool rotate_sources = false;
   std::uint64_t certify_cost_limit = 1'000'000'000;

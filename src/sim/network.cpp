@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 
@@ -14,7 +15,8 @@ network::network(graph::digraph topology)
       lifetime_bits_(step_bits_.size(), 0),
       pending_(static_cast<std::size_t>(topo_.universe())),
       inboxes_(static_cast<std::size_t>(topo_.universe())),
-      trace_(ambient_trace()) {}
+      trace_(ambient_trace()),
+      faults_(ambient_link_faults()) {}
 
 void network::send(message m) {
   if (!topo_.has_edge(m.from, m.to))
@@ -26,7 +28,33 @@ void network::send(message m) {
                 " (zero-bit messages model absent/default values and must be empty)");
   step_bits_[link_index(m.from, m.to)] += m.bits;
   if (trace_ != nullptr) trace_->record(steps_, m.from, m.to, m.tag, m.bits);
+  // The channel may erase the copy: bits were spent, nothing is delivered.
+  if (faults_ != nullptr && faults_->erase(m.from, m.to, universe())) return;
   pending_[static_cast<std::size_t>(m.to)].push_back(std::move(m));
+}
+
+bool network::lossy_transmit(graph::node_id u, graph::node_id v, std::uint64_t bits,
+                             std::uint64_t tag) {
+  charge(u, v, bits, tag);
+  if (faults_ == nullptr) return true;
+  const int budget = faults_->params().retry_budget;
+  int retries = 0;
+  while (faults_->erase(u, v, universe())) {
+    if (retries >= budget) {
+      obs::count(obs::counter::link_retry_exhaustions);
+      obs::gauge_min(obs::gauge::retry_headroom, 0);
+      return false;
+    }
+    ++retries;
+    obs::count(obs::counter::link_retransmits);
+    // The receiver's nack rides the reverse link when the topology has one
+    // (the control plane is modeled reliable; see docs/RUNTIME.md).
+    if (topo_.has_edge(v, u)) charge(v, u, 1, tag);
+    charge(u, v, bits, tag);
+  }
+  if (retries > 0)
+    obs::gauge_min(obs::gauge::retry_headroom, budget - retries);
+  return true;
 }
 
 void network::charge(graph::node_id u, graph::node_id v, std::uint64_t bits,
@@ -47,7 +75,12 @@ double network::end_step() {
     // cleanly; the assert guards against a future zero-capacity edge
     // representation silently producing an infinite tau.
     NAB_ASSERT(e.cap > 0, "link with zero capacity carried traffic");
-    duration = std::max(duration, static_cast<double>(bits) / static_cast<double>(e.cap));
+    double link_time = static_cast<double>(bits) / static_cast<double>(e.cap);
+    // Per-link latency/capacity jitter: a fixed dilation factor per link
+    // (exactly 1.0 with no fault model or at jitter amplitude 0).
+    if (faults_ != nullptr)
+      link_time *= faults_->time_dilation(e.from, e.to, universe());
+    duration = std::max(duration, link_time);
     lifetime_bits_[link_index(e.from, e.to)] += bits;
     total_bits_ += bits;
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "sim/link_faults.hpp"
 #include "sim/message.hpp"
 #include "sim/trace.hpp"
 
@@ -34,6 +35,11 @@ class network {
   /// Preconditions: the link from->to exists in the topology and bits > 0
   /// unless the payload is empty (zero-bit control messages are allowed for
   /// default-value semantics of missing messages).
+  ///
+  /// Under an attached fault model the link may erase the message: the bits
+  /// are still charged (they were transmitted — the channel ate them) but
+  /// nothing reaches the receiver's inbox. Senders that need reliability
+  /// use lossy_transmit's ARQ loop instead.
   void send(message m);
 
   /// Ends the current step; returns its duration in time units.
@@ -54,6 +60,30 @@ class network {
   /// routing); it never affects time or capacity accounting.
   void charge(graph::node_id u, graph::node_id v, std::uint64_t bits,
               std::uint64_t tag = 0);
+
+  /// Charges one logical message of `bits` on u -> v under the attached
+  /// fault model, with link-layer ARQ: the initial copy is charged, and
+  /// while the model erases the copy and the retry budget allows, a 1-bit
+  /// nack is charged on the reverse link (when the topology has one) and
+  /// the copy is retransmitted — all within the current step, so loss shows
+  /// up as elevated tau, never extra protocol rounds. Returns true when a
+  /// copy got through, false when the budget was exhausted (the receiver
+  /// falls back to its missing-message default). With no fault model
+  /// attached this is exactly `charge` + true. Counts
+  /// obs link_retransmits / link_retry_exhaustions and records the
+  /// margin_retry_headroom gauge for messages that needed retries.
+  bool lossy_transmit(graph::node_id u, graph::node_id v, std::uint64_t bits,
+                      std::uint64_t tag = 0);
+
+  /// The attached per-link fault model (nullptr = perfect links). Picked up
+  /// from the thread's ambient model at construction, like the trace.
+  link_fault_model* link_faults() const { return faults_; }
+
+  /// True when the attached fault model can actually erase transmissions.
+  /// The dispute layer keys erasure-vs-tamper discrimination off this — an
+  /// inert (p_loss = 0) model leaves classification byte-identical to the
+  /// clean simulator's.
+  bool lossy() const { return faults_ != nullptr && !faults_->params().lossless(); }
 
   /// Cumulative simulated time over all completed steps.
   double elapsed() const { return elapsed_; }
@@ -80,6 +110,7 @@ class network {
   std::uint64_t total_bits_ = 0;
   int steps_ = 0;
   trace* trace_ = nullptr;
+  link_fault_model* faults_ = nullptr;
 
   std::size_t link_index(graph::node_id u, graph::node_id v) const {
     return static_cast<std::size_t>(u) * topo_.universe() + v;
